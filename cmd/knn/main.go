@@ -1,0 +1,144 @@
+// Command knn computes a k-nearest-neighbor graph and prints its summary,
+// exercising the library's public API end to end:
+//
+//	knn -n 10000 -d 3 -k 4 -algo sphere -dist uniform-cube
+//	knn -input points.txt -k 2 -algo hyperplane -out graph.txt
+//
+// Input files hold one point per line, whitespace-separated coordinates.
+// With -out, the graph is written as "i: j1 j2 j3 ..." adjacency lines.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sepdc"
+	"sepdc/internal/pointgen"
+	"sepdc/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "knn:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", 10000, "number of generated points (ignored with -input)")
+	d := flag.Int("d", 2, "dimension of generated points")
+	k := flag.Int("k", 2, "neighbors per point")
+	algo := flag.String("algo", "sphere", "algorithm: sphere | hyperplane | kdtree | brute")
+	dist := flag.String("dist", "uniform-cube", "generator distribution (see pointgen)")
+	input := flag.String("input", "", "read points from file instead of generating")
+	out := flag.String("out", "", "write adjacency lists to file")
+	seed := flag.Uint64("seed", 42, "random seed")
+	workers := flag.Int("workers", 0, "goroutine parallelism (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	var points [][]float64
+	if *input != "" {
+		var err error
+		points, err = readPoints(*input)
+		if err != nil {
+			return err
+		}
+	} else {
+		pts, err := pointgen.Generate(pointgen.Dist(*dist), *n, *d, xrand.New(*seed))
+		if err != nil {
+			return err
+		}
+		points = make([][]float64, len(pts))
+		for i, p := range pts {
+			points[i] = p
+		}
+	}
+
+	start := time.Now()
+	g, err := sepdc.BuildKNNGraph(points, *k, &sepdc.Options{
+		Algorithm: sepdc.Algorithm(*algo),
+		Seed:      *seed,
+		Workers:   *workers,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	_, comps := g.Components()
+	fmt.Printf("points:       %d (d=%d)\n", g.NumPoints(), len(points[0]))
+	fmt.Printf("k:            %d\n", g.K())
+	fmt.Printf("algorithm:    %s\n", *algo)
+	fmt.Printf("edges:        %d\n", g.NumEdges())
+	fmt.Printf("components:   %d\n", comps)
+	fmt.Printf("wall time:    %v\n", elapsed.Round(time.Microsecond))
+	if st := g.Stats(); st.SimulatedSteps > 0 {
+		fmt.Printf("sim steps:    %d (vector-model parallel time)\n", st.SimulatedSteps)
+		fmt.Printf("sim work:     %d\n", st.SimulatedWork)
+		fmt.Printf("sep trials:   %d\n", st.SeparatorTrials)
+		fmt.Printf("fast corr:    %d, punts: %d\n", st.FastCorrections, st.Punts)
+	}
+
+	if *out != "" {
+		if err := writeGraph(*out, g); err != nil {
+			return err
+		}
+		fmt.Printf("graph written to %s\n", *out)
+	}
+	return nil
+}
+
+func readPoints(path string) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var points [][]float64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		p := make([]float64, len(fields))
+		for i, fstr := range fields {
+			v, err := strconv.ParseFloat(fstr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad coordinate %q", path, lineNo, fstr)
+			}
+			p[i] = v
+		}
+		points = append(points, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+func writeGraph(path string, g *sepdc.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for i := 0; i < g.NumPoints(); i++ {
+		fmt.Fprintf(w, "%d:", i)
+		for _, j := range g.Adjacency(i) {
+			fmt.Fprintf(w, " %d", j)
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}

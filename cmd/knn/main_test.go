@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sepdc"
+)
+
+func TestReadPoints(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pts.txt")
+	content := "# comment line\n1.0 2.0\n\n3.5 -4.25\n  7 8  \n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := readPoints(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("read %d points, want 3", len(pts))
+	}
+	if pts[1][0] != 3.5 || pts[1][1] != -4.25 {
+		t.Errorf("point 1 = %v", pts[1])
+	}
+}
+
+func TestReadPointsErrors(t *testing.T) {
+	if _, err := readPoints(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("1.0 not-a-number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readPoints(bad); err == nil {
+		t.Error("malformed coordinate accepted")
+	} else if !strings.Contains(err.Error(), "bad coordinate") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestWriteGraph(t *testing.T) {
+	points := [][]float64{{0, 0}, {1, 0}, {10, 0}, {11, 0}}
+	g, err := sepdc.BuildKNNGraph(points, 1, &sepdc.Options{Algorithm: sepdc.Brute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "graph.txt")
+	if err := writeGraph(out, g); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, line := range []string{"0: 1", "1: 0", "2: 3", "3: 2"} {
+		if !strings.Contains(text, line) {
+			t.Errorf("graph output missing %q:\n%s", line, text)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command sepdc runs the reproduction experiments (E1–E12 in DESIGN.md):
+//
+//	sepdc list                  # show the experiment registry
+//	sepdc run E7                # run one experiment
+//	sepdc run all               # run the whole suite
+//	sepdc run E1 E5 -quick      # subset, reduced sweep sizes
+//	sepdc run all -markdown     # emit GitHub-flavored markdown (EXPERIMENTS.md)
+//
+// Flags: -seed N, -quick, -markdown, -workers N.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sepdc/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sepdc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return nil
+	}
+	switch args[0] {
+	case "list":
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %-45s %s\n", e.ID, e.Title, e.Claim)
+		}
+		return nil
+	case "run":
+		return runExperiments(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try: sepdc list | sepdc run all)", args[0])
+	}
+}
+
+func runExperiments(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1992, "random seed for the whole suite")
+	quick := fs.Bool("quick", false, "reduced sweep sizes (seconds instead of minutes)")
+	markdown := fs.Bool("markdown", false, "emit GitHub-flavored markdown")
+	workers := fs.Int("workers", 0, "goroutine parallelism (0 = GOMAXPROCS)")
+
+	// Accept experiment ids before flags: `sepdc run E1 E5 -quick`.
+	var ids []string
+	rest := args
+	for len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+		ids = append(ids, rest[0])
+		rest = rest[1:]
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("no experiments named (try: sepdc run all)")
+	}
+
+	var selected []exp.Experiment
+	if len(ids) == 1 && strings.EqualFold(ids[0], "all") {
+		selected = exp.All()
+	} else {
+		for _, id := range ids {
+			e, ok := exp.ByID(strings.ToUpper(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (sepdc list shows the registry)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := exp.Config{Seed: *seed, Quick: *quick, Workers: *workers}
+	for _, e := range selected {
+		start := time.Now()
+		tables := e.Run(cfg)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if *markdown {
+			fmt.Printf("## %s — %s\n\n", e.ID, e.Title)
+			fmt.Printf("**Paper claim.** %s\n\n", e.Claim)
+			for _, tb := range tables {
+				fmt.Println(tb.Markdown())
+			}
+			fmt.Printf("*(run time %v, seed %d%s)*\n\n", elapsed, *seed, quickSuffix(*quick))
+		} else {
+			fmt.Printf("%s — %s\n", e.ID, e.Title)
+			fmt.Printf("claim: %s\n\n", e.Claim)
+			for _, tb := range tables {
+				fmt.Println(tb.Render())
+			}
+			fmt.Printf("(run time %v)\n\n", elapsed)
+		}
+	}
+	return nil
+}
+
+func quickSuffix(q bool) string {
+	if q {
+		return ", quick mode"
+	}
+	return ""
+}
+
+func usage() {
+	fmt.Println(`sepdc — experiment runner for the SPAA'92 sphere-separator reproduction
+
+usage:
+  sepdc list                    list experiments E1–E12 with their claims
+  sepdc run <ids...|all> [flags]
+
+flags for run:
+  -seed N       random seed (default 1992)
+  -quick        reduced sweeps
+  -markdown     markdown output for EXPERIMENTS.md
+  -workers N    goroutine parallelism (0 = GOMAXPROCS)`)
+}

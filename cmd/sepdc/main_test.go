@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunDispatch(t *testing.T) {
+	// The registry listing and help must succeed.
+	if err := run([]string{"list"}); err != nil {
+		t.Errorf("list: %v", err)
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help: %v", err)
+	}
+	if err := run(nil); err != nil {
+		t.Errorf("bare invocation: %v", err)
+	}
+	// Errors.
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run([]string{"run"}); err == nil {
+		t.Error("run without ids accepted")
+	}
+	if err := run([]string{"run", "E99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"run", "E4", "-bogusflag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunSingleQuickExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	// E4 (the punting simulation) is the cheapest full experiment.
+	if err := run([]string{"run", "e4", "-quick", "-seed", "3"}); err != nil {
+		t.Errorf("run E4: %v", err)
+	}
+	if err := run([]string{"run", "E4", "-quick", "-markdown"}); err != nil {
+		t.Errorf("run E4 markdown: %v", err)
+	}
+}

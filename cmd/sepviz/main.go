@@ -1,0 +1,199 @@
+// Command sepviz renders a 2-D point set, its sphere separator, and the
+// crossing k-neighborhood balls as an SVG — a visual sanity check of the
+// geometry that Figure 1 of the paper sketches.
+//
+//	sepviz -n 2000 -dist annulus -k 2 -o separator.svg
+//	sepviz -n 3000 -tree -depth 5 -o partition.svg   # recursive partition
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"sepdc/internal/geom"
+	"sepdc/internal/nbrsys"
+	"sepdc/internal/pointgen"
+	"sepdc/internal/separator"
+	"sepdc/internal/vec"
+	"sepdc/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sepviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", 2000, "number of points")
+	dist := flag.String("dist", "uniform-cube", "distribution")
+	k := flag.Int("k", 2, "neighborhood size")
+	seed := flag.Uint64("seed", 7, "random seed")
+	out := flag.String("o", "separator.svg", "output SVG path")
+	tree := flag.Bool("tree", false, "render the recursive partition instead of one separator")
+	depth := flag.Int("depth", 5, "partition depth for -tree")
+	flag.Parse()
+
+	g := xrand.New(*seed)
+	pts, err := pointgen.Generate(pointgen.Dist(*dist), *n, 2, g)
+	if err != nil {
+		return err
+	}
+	pts = pointgen.Dedup(pts)
+	if *tree {
+		svg := renderTree(pts, g, *depth)
+		if err := os.WriteFile(*out, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote recursive partition (depth %d) to %s\n", *depth, *out)
+		return nil
+	}
+	sys := nbrsys.KNeighborhood(pts, *k)
+	res, err := separator.FindGood(pts, g, nil)
+	if err != nil {
+		return err
+	}
+	in, ex, cross := sys.Partition(res.Sep)
+	fmt.Printf("separator: %v\n", res.Sep)
+	fmt.Printf("split: %d interior / %d exterior (ratio %.3f), trials %d\n",
+		res.Stats.Interior, res.Stats.Exterior, res.Stats.Ratio(), res.Trials)
+	fmt.Printf("balls: %d interior, %d exterior, %d crossing (ι = %d)\n",
+		len(in), len(ex), len(cross), len(cross))
+
+	svg := render(pts, sys, res.Sep, cross)
+	if err := os.WriteFile(*out, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+// renderTree draws the point set with the separators of a depth-bounded
+// recursive sphere partition, separator strokes thinning with depth.
+func renderTree(pts []vec.Vec, g *xrand.RNG, maxDepth int) string {
+	b := geom.NewBounds(pts)
+	span := math.Max(b.Hi[0]-b.Lo[0], b.Hi[1]-b.Lo[1])
+	if span == 0 {
+		span = 1
+	}
+	const size = 900.0
+	const margin = 40.0
+	scale := (size - 2*margin) / span
+	tx := func(x float64) float64 { return margin + (x-b.Lo[0])*scale }
+	ty := func(y float64) float64 { return size - margin - (y-b.Lo[1])*scale }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", size, size, size, size)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	for _, p := range pts {
+		fmt.Fprintf(&sb, `<circle cx="%.2f" cy="%.2f" r="1.2" fill="#555"/>`+"\n", tx(p[0]), ty(p[1]))
+	}
+	var rec func(idx []int, depth int, gg *xrand.RNG)
+	rec = func(idx []int, depth int, gg *xrand.RNG) {
+		if depth >= maxDepth || len(idx) < 64 {
+			return
+		}
+		sub := make([]vec.Vec, len(idx))
+		for i, j := range idx {
+			sub[i] = pts[j]
+		}
+		res, err := separator.FindGood(sub, gg, nil)
+		if err != nil {
+			return
+		}
+		width := 3.0 / float64(depth+1)
+		switch s := res.Sep.(type) {
+		case geom.Sphere:
+			fmt.Fprintf(&sb, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="none" stroke="#c0392b" stroke-width="%.2f" stroke-opacity="0.8"/>`+"\n",
+				tx(s.Center[0]), ty(s.Center[1]), s.Radius*scale, width)
+		case geom.Halfspace:
+			px, py := s.Normal[0]*s.Offset, s.Normal[1]*s.Offset
+			dx, dy := -s.Normal[1], s.Normal[0]
+			ext := span * 2
+			fmt.Fprintf(&sb, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="#2980b9" stroke-width="%.2f" stroke-opacity="0.8"/>`+"\n",
+				tx(px-dx*ext), ty(py-dy*ext), tx(px+dx*ext), ty(py+dy*ext), width)
+		}
+		var lo, hi []int
+		for _, j := range idx {
+			if res.Sep.Side(pts[j]) <= 0 {
+				lo = append(lo, j)
+			} else {
+				hi = append(hi, j)
+			}
+		}
+		if len(lo) == 0 || len(hi) == 0 {
+			return
+		}
+		gl, gr := gg.Split(), gg.Split()
+		rec(lo, depth+1, gl)
+		rec(hi, depth+1, gr)
+	}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	rec(idx, 0, g)
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// render maps the scene into a 900x900 viewport.
+func render(pts []vec.Vec, sys *nbrsys.System, sep geom.Separator, cross []int) string {
+	b := geom.NewBounds(pts)
+	span := math.Max(b.Hi[0]-b.Lo[0], b.Hi[1]-b.Lo[1])
+	if span == 0 {
+		span = 1
+	}
+	const size = 900.0
+	const margin = 40.0
+	scale := (size - 2*margin) / span
+	tx := func(x float64) float64 { return margin + (x-b.Lo[0])*scale }
+	ty := func(y float64) float64 { return size - margin - (y-b.Lo[1])*scale }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", size, size, size, size)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	crossing := make(map[int]bool, len(cross))
+	for _, i := range cross {
+		crossing[i] = true
+	}
+	// Crossing balls first (under the points).
+	for _, i := range cross {
+		fmt.Fprintf(&sb, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="none" stroke="#e6a700" stroke-width="0.8"/>`+"\n",
+			tx(sys.Centers[i][0]), ty(sys.Centers[i][1]), sys.Radii[i]*scale)
+	}
+	// Points, colored by side.
+	for i, p := range pts {
+		color := "#2b6cb0" // interior
+		if sep.Side(p) > 0 {
+			color = "#c53030" // exterior
+		}
+		r := 1.6
+		if crossing[i] {
+			r = 2.4
+		}
+		fmt.Fprintf(&sb, `<circle cx="%.2f" cy="%.2f" r="%.1f" fill="%s"/>`+"\n", tx(p[0]), ty(p[1]), r, color)
+	}
+	// The separator on top.
+	switch s := sep.(type) {
+	case geom.Sphere:
+		fmt.Fprintf(&sb, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="none" stroke="black" stroke-width="2" stroke-dasharray="6 3"/>`+"\n",
+			tx(s.Center[0]), ty(s.Center[1]), s.Radius*scale)
+	case geom.Halfspace:
+		// Draw the line n·x = b clipped to the viewport diagonal extent.
+		nx, ny, off := s.Normal[0], s.Normal[1], s.Offset
+		// A point on the line and its direction.
+		px, py := nx*off, ny*off
+		dx, dy := -ny, nx
+		ext := span * 2
+		fmt.Fprintf(&sb, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="black" stroke-width="2" stroke-dasharray="6 3"/>`+"\n",
+			tx(px-dx*ext), ty(py-dy*ext), tx(px+dx*ext), ty(py+dy*ext))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sepdc/internal/geom"
+	"sepdc/internal/nbrsys"
+	"sepdc/internal/pointgen"
+	"sepdc/internal/vec"
+	"sepdc/internal/xrand"
+)
+
+func TestRenderSphereScene(t *testing.T) {
+	g := xrand.New(1)
+	pts := pointgen.MustGenerate(pointgen.UniformCube, 200, 2, g)
+	sys := nbrsys.KNeighborhood(pts, 1)
+	sep := geom.Sphere{Center: vec.Of(0.5, 0.5), Radius: 0.3}
+	_, _, cross := sys.Partition(sep)
+	svg := render(pts, sys, sep, cross)
+	for _, want := range []string{"<svg", "</svg>", "stroke-dasharray", "circle"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One dot per point plus one circle per crossing ball plus the separator.
+	if got := strings.Count(svg, "<circle"); got != len(pts)+len(cross)+1 {
+		t.Errorf("SVG has %d circles, want %d", got, len(pts)+len(cross)+1)
+	}
+}
+
+func TestRenderHyperplaneScene(t *testing.T) {
+	g := xrand.New(2)
+	pts := pointgen.MustGenerate(pointgen.Gaussian, 100, 2, g)
+	sys := nbrsys.KNeighborhood(pts, 1)
+	sep := geom.Halfspace{Normal: vec.Of(1, 0), Offset: 0}
+	svg := render(pts, sys, sep, nil)
+	if !strings.Contains(svg, "<line") {
+		t.Error("hyperplane separator not drawn as a line")
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	g := xrand.New(3)
+	pts := pointgen.MustGenerate(pointgen.UniformCube, 600, 2, g)
+	svg := renderTree(pts, g.Split(), 4)
+	if !strings.Contains(svg, "</svg>") {
+		t.Fatal("tree SVG not closed")
+	}
+	// Points plus at least a handful of separator strokes.
+	if strings.Count(svg, "<circle")+strings.Count(svg, "<line") < len(pts)+3 {
+		t.Error("tree render missing separators")
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN leaked into SVG")
+	}
+}
+
+func TestRenderDegenerateSpan(t *testing.T) {
+	// All points identical: span is zero; render must not divide by zero.
+	pts := []vec.Vec{vec.Of(1, 1), vec.Of(1, 1)}
+	sys := &nbrsys.System{Centers: pts, Radii: []float64{0, 0}}
+	sep := geom.Sphere{Center: vec.Of(1, 1), Radius: 1}
+	svg := render(pts, sys, sep, nil)
+	if !strings.Contains(svg, "</svg>") || strings.Contains(svg, "NaN") {
+		t.Error("degenerate render produced invalid SVG")
+	}
+}

@@ -1,0 +1,33 @@
+// Package sepdc is a Go reproduction of
+//
+//	Alan M. Frieze, Gary L. Miller, Shang-Hua Teng.
+//	"Separator Based Parallel Divide and Conquer in Computational
+//	Geometry", SPAA 1992.
+//
+// The paper gives a randomized O(log n)-time, n-processor algorithm (on a
+// parallel vector model with unit-time SCAN) for computing the k-nearest-
+// neighbor graph of n points in fixed dimension, using Miller–Teng–
+// Thurston–Vavasis sphere separators for the divide step and a punting
+// hybrid ("run the fast correction; if unlucky, fall back to the query
+// structure") for the conquer step.
+//
+// The public API covers the paper's three deliverables:
+//
+//   - BuildKNNGraph — the k-nearest-neighbor graph (Definition 1.1),
+//     computable by four interchangeable algorithms: the paper's sphere
+//     divide and conquer (Section 6), the hyperplane baseline (Section 5),
+//     a kd-tree, and brute force. All produce identical, exact graphs.
+//   - FindSeparator — one invocation of the sphere-separator search
+//     (Section 2), returning the separator and its quality measures.
+//   - NewQueryStructure — the separator-based search structure for the
+//     neighborhood query problem (Section 3).
+//
+// Randomness is always explicit: every entry point takes a seed, and equal
+// seeds give identical results, including across goroutine-parallel runs.
+//
+// The packages under internal/ implement the substrates (geometry,
+// stereographic conformal maps, centerpoints, scan primitives, the
+// instrumented vector model, the marching kernel, the punting analysis)
+// and the experiment harness that reproduces every measurable claim of the
+// paper; see DESIGN.md and EXPERIMENTS.md.
+package sepdc

@@ -1,0 +1,83 @@
+package sepdc_test
+
+import (
+	"fmt"
+
+	"sepdc"
+)
+
+// The basic workflow: build a k-NN graph and read a point's neighbors.
+func ExampleBuildKNNGraph() {
+	points := [][]float64{
+		{0, 0}, {1, 0}, {0, 1}, // a cluster
+		{10, 10}, {11, 10}, {10, 11}, // a far cluster
+	}
+	graph, err := sepdc.BuildKNNGraph(points, 2, &sepdc.Options{
+		Algorithm: sepdc.Sphere,
+		Seed:      7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("edges:", graph.NumEdges())
+	for _, nb := range graph.Neighbors(0) {
+		fmt.Printf("0 -> %d (%.0f)\n", nb.Index, nb.Distance)
+	}
+	_, components := graph.Components()
+	fmt.Println("components:", components)
+	// Output:
+	// edges: 6
+	// 0 -> 1 (1)
+	// 0 -> 2 (1)
+	// components: 2
+}
+
+// All four algorithms produce exactly the same graph.
+func ExampleEqual() {
+	points := [][]float64{{0}, {1}, {3}, {7}, {15}, {16}}
+	a, _ := sepdc.BuildKNNGraph(points, 1, &sepdc.Options{Algorithm: sepdc.Sphere, Seed: 1})
+	b, _ := sepdc.BuildKNNGraph(points, 1, &sepdc.Options{Algorithm: sepdc.Brute})
+	fmt.Println(sepdc.Equal(a, b))
+	// Output:
+	// true
+}
+
+// A sphere separator splits a point set with balanced sides.
+func ExampleFindSeparator() {
+	var points [][]float64
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 32; j++ {
+			points = append(points, []float64{float64(i), float64(j)})
+		}
+	}
+	sep, err := sepdc.FindSeparator(points, 1, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("two sides:", sep.Interior > 0 && sep.Exterior > 0)
+	fmt.Println("balanced:", sep.Ratio <= 0.8)
+	fmt.Println("accounted:", sep.Interior+sep.Exterior == len(points))
+	// Output:
+	// two sides: true
+	// balanced: true
+	// accounted: true
+}
+
+// The query structure answers reverse-nearest-neighbor questions.
+func ExampleQueryStructure_CoveringBalls() {
+	points := [][]float64{{0, 0}, {1, 0}, {4, 0}, {5, 0}}
+	qs, err := sepdc.NewQueryStructure(points, 1, 2)
+	if err != nil {
+		panic(err)
+	}
+	// A query between the two pairs: inside nobody's 1-NN ball.
+	far, _ := qs.CoveringBalls([]float64{2.5, 0})
+	// A query snuggled next to point 0: inside the 1-NN balls of both
+	// point 0 and point 1 (each has radius 1, their mutual distance).
+	near, _ := qs.CoveringBalls([]float64{0.25, 0})
+	fmt.Println(far)
+	fmt.Println(near)
+	// Output:
+	// []
+	// [0 1]
+}

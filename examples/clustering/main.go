@@ -1,0 +1,122 @@
+// Clustering with mutual-k-NN graphs: a standard downstream use of the
+// k-nearest-neighbor graph the paper computes. Points are clustered as the
+// connected components of the mutual-k-NN graph (keep edge {i,j} only when
+// each endpoint is among the other's k nearest), which separates Gaussian
+// blobs without knowing their number in advance.
+//
+//	go run ./examples/clustering
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"sort"
+
+	"sepdc"
+)
+
+func main() {
+	points, truth := makeBlobs()
+	const k = 6
+
+	graph, err := sepdc.BuildKNNGraph(points, k, &sepdc.Options{Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Mutual-k-NN filtering: union-find over edges present in both
+	// directions of the directed lists.
+	parent := make([]int, len(points))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	outSet := make([]map[int]bool, len(points))
+	for i := range points {
+		outSet[i] = map[int]bool{}
+		for _, nb := range graph.Neighbors(i) {
+			outSet[i][nb.Index] = true
+		}
+	}
+	mutual := 0
+	for i := range points {
+		for j := range outSet[i] {
+			if i < j && outSet[j][i] {
+				union(i, j)
+				mutual++
+			}
+		}
+	}
+
+	// Collect clusters, discarding tiny fragments as noise.
+	members := map[int][]int{}
+	for i := range points {
+		members[find(i)] = append(members[find(i)], i)
+	}
+	var clusters [][]int
+	noise := 0
+	for _, m := range members {
+		if len(m) >= 10 {
+			clusters = append(clusters, m)
+		} else {
+			noise += len(m)
+		}
+	}
+	sort.Slice(clusters, func(a, b int) bool { return len(clusters[a]) > len(clusters[b]) })
+
+	fmt.Printf("points: %d, mutual-%d-NN edges: %d\n", len(points), k, mutual)
+	fmt.Printf("clusters found: %d (true blobs: 4), noise points: %d\n\n", len(clusters), noise)
+	for ci, m := range clusters {
+		// Majority true label of the cluster measures purity.
+		counts := map[int]int{}
+		for _, i := range m {
+			counts[truth[i]]++
+		}
+		best, bestC := -1, 0
+		for l, c := range counts {
+			if c > bestC {
+				best, bestC = l, c
+			}
+		}
+		fmt.Printf("cluster %d: %4d points, %5.1f%% from true blob %d\n",
+			ci, len(m), 100*float64(bestC)/float64(len(m)), best)
+	}
+}
+
+// makeBlobs samples four Gaussian blobs of differing sizes plus uniform
+// background noise; returns the points and their true labels (noise = -1).
+func makeBlobs() ([][]float64, []int) {
+	r := rand.New(rand.NewPCG(4, 4))
+	centers := [][2]float64{{0, 0}, {12, 2}, {4, 11}, {13, 12}}
+	sizes := []int{400, 300, 250, 150}
+	var pts [][]float64
+	var labels []int
+	for b, c := range centers {
+		for i := 0; i < sizes[b]; i++ {
+			pts = append(pts, []float64{
+				c[0] + r.NormFloat64(),
+				c[1] + r.NormFloat64(),
+			})
+			labels = append(labels, b)
+		}
+	}
+	for i := 0; i < 60; i++ {
+		pts = append(pts, []float64{r.Float64()*20 - 3, r.Float64()*20 - 3})
+		labels = append(labels, -1)
+	}
+	return pts, labels
+}

@@ -1,0 +1,190 @@
+// Mesh partitioning: the motivating application of the sphere-separator
+// line of work. An unstructured point cloud (a jittered mesh of two
+// refinement regions) is recursively bisected with sphere separators; the
+// quality metric is the k-NN-graph edge cut, which the separator theorem
+// keeps small.
+//
+// The example compares sphere-separator bisection against the naive median
+// hyperplane on the same mesh and reports edge cuts and balance.
+//
+//	go run ./examples/meshpartition
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand/v2"
+
+	"sepdc"
+)
+
+func main() {
+	points := makeMesh()
+	const k = 4
+	graph, err := sepdc.BuildKNNGraph(points, k, &sepdc.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mesh: %d points, %d-NN graph with %d edges\n\n",
+		graph.NumPoints(), k, graph.NumEdges())
+
+	// One sphere-separator bisection via the public API.
+	sep, err := sepdc.FindSeparator(points, k, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	side := make([]int, len(points))
+	for i, p := range points {
+		side[i] = sep.Side(p)
+	}
+	cut := edgeCut(graph, side)
+	fmt.Printf("sphere separator (%s):\n", sep.Kind)
+	fmt.Printf("  balance:  %d / %d (ratio %.3f)\n", sep.Interior, sep.Exterior, sep.Ratio)
+	fmt.Printf("  edge cut: %d of %d edges (%.2f%%)\n", cut, graph.NumEdges(),
+		100*float64(cut)/float64(graph.NumEdges()))
+	fmt.Printf("  crossing k-NN balls ι(S): %d\n\n", sep.CrossingBalls)
+
+	// Baseline: median hyperplane on the x-coordinate.
+	med := medianX(points)
+	for i, p := range points {
+		if p[0] <= med {
+			side[i] = -1
+		} else {
+			side[i] = 1
+		}
+	}
+	cutH := edgeCut(graph, side)
+	fmt.Printf("median x-hyperplane baseline:\n")
+	fmt.Printf("  edge cut: %d of %d edges (%.2f%%)\n\n", cutH, graph.NumEdges(),
+		100*float64(cutH)/float64(graph.NumEdges()))
+
+	// Full recursive partition into parts of <= 256 points.
+	parts := recursivePartition(points, 256, 5)
+	counts := map[int]int{}
+	for _, p := range parts {
+		counts[p]++
+	}
+	totalCut := 0
+	for u := 0; u < graph.NumPoints(); u++ {
+		for _, v := range graph.Adjacency(u) {
+			if u < v && parts[u] != parts[v] {
+				totalCut++
+			}
+		}
+	}
+	minP, maxP := math.MaxInt, 0
+	for _, c := range counts {
+		if c < minP {
+			minP = c
+		}
+		if c > maxP {
+			maxP = c
+		}
+	}
+	fmt.Printf("recursive sphere partition into %d parts (sizes %d..%d):\n",
+		len(counts), minP, maxP)
+	fmt.Printf("  total edge cut: %d of %d (%.2f%%)\n", totalCut, graph.NumEdges(),
+		100*float64(totalCut)/float64(graph.NumEdges()))
+}
+
+// makeMesh builds a jittered 2-D mesh with a refined (denser) disk region,
+// the classic adaptive-mesh shape.
+func makeMesh() [][]float64 {
+	r := rand.New(rand.NewPCG(9, 9))
+	var pts [][]float64
+	// Coarse background grid 60x60 over [0,6]^2.
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 60; j++ {
+			pts = append(pts, []float64{
+				(float64(i)+0.5)/10 + 0.02*r.NormFloat64(),
+				(float64(j)+0.5)/10 + 0.02*r.NormFloat64(),
+			})
+		}
+	}
+	// Refined region: dense disk around (2, 2).
+	for len(pts) < 3600+1800 {
+		x := 2 + r.NormFloat64()*0.4
+		y := 2 + r.NormFloat64()*0.4
+		pts = append(pts, []float64{x, y})
+	}
+	return pts
+}
+
+func edgeCut(g *sepdc.Graph, side []int) int {
+	cut := 0
+	for u := 0; u < g.NumPoints(); u++ {
+		for _, v := range g.Adjacency(u) {
+			if u < v && side[u] != side[v] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+func medianX(points [][]float64) float64 {
+	xs := make([]float64, len(points))
+	for i, p := range points {
+		xs[i] = p[0]
+	}
+	// Simple selection via sort-free nth element is overkill here.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs[len(xs)/2]
+}
+
+// recursivePartition splits the index space with sphere separators until
+// parts have at most maxPart points, assigning a part id per point.
+func recursivePartition(points [][]float64, maxPart int, seed uint64) []int {
+	part := make([]int, len(points))
+	next := 0
+	var rec func(idx []int, seed uint64)
+	rec = func(idx []int, seed uint64) {
+		if len(idx) <= maxPart {
+			for _, i := range idx {
+				part[i] = next
+			}
+			next++
+			return
+		}
+		sub := make([][]float64, len(idx))
+		for j, i := range idx {
+			sub[j] = points[i]
+		}
+		sep, err := sepdc.FindSeparator(sub, 0, seed)
+		if err != nil {
+			for _, i := range idx {
+				part[i] = next
+			}
+			next++
+			return
+		}
+		var lo, hi []int
+		for _, i := range idx {
+			if sep.Side(points[i]) < 0 {
+				lo = append(lo, i)
+			} else {
+				hi = append(hi, i)
+			}
+		}
+		if len(lo) == 0 || len(hi) == 0 {
+			for _, i := range idx {
+				part[i] = next
+			}
+			next++
+			return
+		}
+		rec(lo, seed*2+1)
+		rec(hi, seed*2+2)
+	}
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	rec(idx, seed)
+	return part
+}

@@ -1,0 +1,87 @@
+// Outlier detection by k-NN distance: points whose distance to their k-th
+// nearest neighbor is anomalously large are outliers. This is the classic
+// Ramaswamy–Rastogi–Shim detector, and it consumes exactly what the
+// paper's algorithm produces — the k-neighborhood radii.
+//
+//	go run ./examples/outliers
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"sepdc"
+)
+
+func main() {
+	points, planted := makeContaminated()
+	const k = 5
+
+	graph, err := sepdc.BuildKNNGraph(points, k, &sepdc.Options{Seed: 31})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Score each point by its k-th NN distance (the k-neighborhood ball
+	// radius of Section 5).
+	type scored struct {
+		idx   int
+		score float64
+	}
+	scores := make([]scored, len(points))
+	for i := range points {
+		nb := graph.Neighbors(i)
+		scores[i] = scored{idx: i, score: nb[len(nb)-1].Distance}
+	}
+	sort.Slice(scores, func(a, b int) bool { return scores[a].score > scores[b].score })
+
+	// Report the top-|planted| suspects and measure recall.
+	plantedSet := map[int]bool{}
+	for _, i := range planted {
+		plantedSet[i] = true
+	}
+	top := scores[:len(planted)]
+	found := 0
+	fmt.Printf("top %d outlier scores (k=%d):\n", len(top), k)
+	for rank, s := range top {
+		mark := " "
+		if plantedSet[s.idx] {
+			mark = "*"
+			found++
+		}
+		fmt.Printf("  #%2d point %4d  k-dist %.3f %s\n", rank+1, s.idx, s.score, mark)
+	}
+	fmt.Printf("\nrecall of planted outliers in top-%d: %d/%d (%.0f%%)\n",
+		len(planted), found, len(planted), 100*float64(found)/float64(len(planted)))
+	fmt.Println("(* = a planted outlier)")
+}
+
+// makeContaminated returns a two-moon-ish inlier distribution plus a few
+// far-flung planted outliers, with the planted indices.
+func makeContaminated() ([][]float64, []int) {
+	r := rand.New(rand.NewPCG(8, 8))
+	var pts [][]float64
+	// Inliers: a dense ring and a dense bar.
+	for i := 0; i < 700; i++ {
+		// Ring of radius 5.
+		ang := r.Float64() * 2 * math.Pi
+		rad := 5 + 0.3*r.NormFloat64()
+		pts = append(pts, []float64{rad * math.Cos(ang), rad * math.Sin(ang)})
+	}
+	for i := 0; i < 300; i++ {
+		pts = append(pts, []float64{r.Float64()*4 - 2, 0.4 * r.NormFloat64()})
+	}
+	// Planted outliers far from both structures.
+	var planted []int
+	for i := 0; i < 12; i++ {
+		planted = append(planted, len(pts))
+		pts = append(pts, []float64{
+			12 + r.Float64()*8,
+			-10 + r.Float64()*20,
+		})
+	}
+	return pts, planted
+}

@@ -1,0 +1,58 @@
+// Quickstart: build a k-nearest-neighbor graph with the paper's sphere-
+// separator divide and conquer and inspect it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"sepdc"
+)
+
+func main() {
+	// A small 2-D point cloud: three visible clusters.
+	r := rand.New(rand.NewPCG(1, 2))
+	var points [][]float64
+	centers := [][2]float64{{0, 0}, {10, 0}, {5, 8}}
+	for _, c := range centers {
+		for i := 0; i < 200; i++ {
+			points = append(points, []float64{
+				c[0] + r.NormFloat64(),
+				c[1] + r.NormFloat64(),
+			})
+		}
+	}
+
+	// Build the exact 3-NN graph with the Section-6 algorithm.
+	graph, err := sepdc.BuildKNNGraph(points, 3, &sepdc.Options{
+		Algorithm: sepdc.Sphere,
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("built %d-NN graph over %d points\n", graph.K(), graph.NumPoints())
+	fmt.Printf("edges: %d\n", graph.NumEdges())
+
+	// The three clusters are far apart, so the graph decomposes into (at
+	// least) three connected components.
+	_, components := graph.Components()
+	fmt.Printf("connected components: %d\n", components)
+
+	// Inspect one point's neighborhood.
+	fmt.Println("\npoint 0 neighbors (nearest first):")
+	for _, nb := range graph.Neighbors(0) {
+		fmt.Printf("  -> point %d at distance %.3f\n", nb.Index, nb.Distance)
+	}
+
+	// The divide and conquer reports its simulated parallel cost on the
+	// paper's machine model.
+	st := graph.Stats()
+	fmt.Printf("\nsimulated parallel time: %d vector steps\n", st.SimulatedSteps)
+	fmt.Printf("simulated total work:    %d element-ops\n", st.SimulatedWork)
+	fmt.Printf("separator trials:        %d\n", st.SeparatorTrials)
+}

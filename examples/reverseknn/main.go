@@ -1,0 +1,92 @@
+// Reverse nearest neighbors via the Section-3 query structure: the set of
+// points that would count q among their k nearest — "who would be affected
+// if q appeared?" This is exactly the neighborhood query problem the
+// paper's search structure answers in O(k + log n) per query: q lies in
+// point i's k-neighborhood ball iff q is closer to i than i's current k-th
+// neighbor.
+//
+// The example builds the structure over a shop-location dataset and asks,
+// for a set of candidate new-shop sites, which existing shops would gain q
+// as a k-near competitor.
+//
+//	go run ./examples/reverseknn
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"sepdc"
+)
+
+func main() {
+	r := rand.New(rand.NewPCG(6, 6))
+
+	// Existing "shops": three dense town centers plus rural scatter.
+	var shops [][]float64
+	towns := [][2]float64{{2, 2}, {8, 3}, {5, 8}}
+	for _, c := range towns {
+		for i := 0; i < 250; i++ {
+			shops = append(shops, []float64{
+				c[0] + 0.6*r.NormFloat64(),
+				c[1] + 0.6*r.NormFloat64(),
+			})
+		}
+	}
+	for i := 0; i < 100; i++ {
+		shops = append(shops, []float64{r.Float64() * 10, r.Float64() * 10})
+	}
+
+	const k = 3
+	qs, err := sepdc.NewQueryStructure(shops, k, 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := qs.Stats()
+	fmt.Printf("query structure over %d shops (k=%d):\n", len(shops), k)
+	fmt.Printf("  height %d, %d leaves, %d stored balls (%.2fx n)\n\n",
+		st.Height, st.Leaves, st.StoredBalls, float64(st.StoredBalls)/float64(len(shops)))
+
+	// Candidate sites: town centers, an edge location, and the wilderness.
+	candidates := map[string][]float64{
+		"town-1 center": {2, 2},
+		"town-2 center": {8, 3},
+		"between towns": {5, 5},
+		"wilderness":    {9.5, 9.5},
+	}
+	for name, q := range candidates {
+		affected, err := qs.CoveringBalls(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("site %-14s -> %3d existing shops would gain it as a top-%d neighbor\n",
+			name, len(affected), k)
+	}
+
+	// Cross-check one answer by brute force.
+	graph, err := sepdc.BuildKNNGraph(shops, k, &sepdc.Options{Algorithm: sepdc.KDTree})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := candidates["between towns"]
+	want := 0
+	for i := range shops {
+		nb := graph.Neighbors(i)
+		r := nb[len(nb)-1].Distance
+		if d2(q, shops[i]) < r*r {
+			want++
+		}
+	}
+	got, _ := qs.CoveringBalls(q)
+	fmt.Printf("\nverification for 'between towns': structure %d, brute force %d\n", len(got), want)
+}
+
+func d2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

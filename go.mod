@@ -1,0 +1,3 @@
+module sepdc
+
+go 1.24

@@ -1,0 +1,69 @@
+package sepdc
+
+import (
+	"testing"
+)
+
+func TestFindGraphSeparator(t *testing.T) {
+	points := genPoints(2000, 2, 21)
+	k := 2
+	gs, err := FindGraphSeparator(points, k, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Separator == nil {
+		t.Fatal("no inducing separator reported")
+	}
+	// W ∪ Interior ∪ Exterior partitions the vertices.
+	seen := make([]int, len(points))
+	for _, w := range gs.W {
+		seen[w]++
+	}
+	for _, v := range gs.Interior {
+		seen[v]++
+	}
+	for _, v := range gs.Exterior {
+		seen[v]++
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("vertex %d appears %d times across W/Interior/Exterior", i, c)
+		}
+	}
+	// Separator property: no edge between Interior and Exterior once W is
+	// removed. Verify on the actual graph.
+	graph, err := BuildKNNGraph(points, k, &Options{Algorithm: KDTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sideOf := make(map[int]int, len(points))
+	for _, v := range gs.Interior {
+		sideOf[v] = -1
+	}
+	for _, v := range gs.Exterior {
+		sideOf[v] = 1
+	}
+	for _, u := range gs.Interior {
+		for _, v := range graph.Adjacency(u) {
+			if sideOf[v] == 1 {
+				t.Fatalf("edge %d-%d survives W removal across the cut", u, v)
+			}
+		}
+	}
+	// W is sublinear and the sides are balanced-ish.
+	if len(gs.W) > len(points)/3 {
+		t.Errorf("|W| = %d not small for n=%d", len(gs.W), len(points))
+	}
+	if len(gs.Interior) == 0 || len(gs.Exterior) == 0 {
+		t.Error("separator produced an empty side")
+	}
+}
+
+func TestFindGraphSeparatorErrors(t *testing.T) {
+	if _, err := FindGraphSeparator(nil, 1, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := FindGraphSeparator([][]float64{{1}, {2}}, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+}

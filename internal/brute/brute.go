@@ -1,0 +1,91 @@
+// Package brute provides quadratic-time reference implementations of the
+// k-nearest-neighbor primitives. They are the ground truth every other
+// algorithm is tested against, and they serve as the paper's base case: the
+// divide and conquer switches to "deterministically compute … by testing all
+// pairs of points" once a subproblem has at most log n points (Section 6.1,
+// step 1).
+package brute
+
+import (
+	"sepdc/internal/topk"
+	"sepdc/internal/vec"
+)
+
+// KNN returns the k nearest neighbors of pts[q] among pts, excluding q
+// itself, in canonical (distance², index) order. When the set has fewer
+// than k other points, all of them are returned.
+func KNN(pts []vec.Vec, q, k int) *topk.List {
+	l := topk.New(k)
+	for i, p := range pts {
+		if i == q {
+			continue
+		}
+		l.Insert(i, vec.Dist2(pts[q], p))
+	}
+	return l
+}
+
+// AllKNN returns the k-nearest-neighbor lists of every point, by testing
+// all pairs. O(n²·d) time, O(n·k) space.
+func AllKNN(pts []vec.Vec, k int) []*topk.List {
+	lists := make([]*topk.List, len(pts))
+	for i := range pts {
+		lists[i] = topk.New(k)
+	}
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			d2 := vec.Dist2(pts[i], pts[j])
+			lists[i].Insert(j, d2)
+			lists[j].Insert(i, d2)
+		}
+	}
+	return lists
+}
+
+// AllKNNSubset computes k-NN lists restricted to the sub-point-set
+// identified by idx (indices into pts). The returned lists are indexed
+// positionally like idx and contain *global* point indices, which is the
+// form the divide and conquer's base case needs.
+func AllKNNSubset(pts []vec.Vec, idx []int, k int) []*topk.List {
+	lists := make([]*topk.List, len(idx))
+	for i := range idx {
+		lists[i] = topk.New(k)
+	}
+	for a := 0; a < len(idx); a++ {
+		for b := a + 1; b < len(idx); b++ {
+			d2 := vec.Dist2(pts[idx[a]], pts[idx[b]])
+			lists[a].Insert(idx[b], d2)
+			lists[b].Insert(idx[a], d2)
+		}
+	}
+	return lists
+}
+
+// PointsInBall returns the indices i with |pts[i] − center| ≤ r (closed
+// ball), excluding the optional self index (pass −1 to keep all).
+func PointsInBall(pts []vec.Vec, center vec.Vec, r float64, self int) []int {
+	r2 := r * r
+	var out []int
+	for i, p := range pts {
+		if i == self {
+			continue
+		}
+		if vec.Dist2(center, p) <= r2 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CountCoveringBalls returns how many of the balls (centers[i], radii[i])
+// strictly contain p — the ply of p under the neighborhood system, computed
+// by definition.
+func CountCoveringBalls(centers []vec.Vec, radii []float64, p vec.Vec) int {
+	count := 0
+	for i, c := range centers {
+		if vec.Dist2(c, p) < radii[i]*radii[i] {
+			count++
+		}
+	}
+	return count
+}

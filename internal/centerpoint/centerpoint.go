@@ -1,0 +1,155 @@
+// Package centerpoint computes approximate centerpoints by the iterated
+// Radon-point method (Clarkson, Eppstein, Miller, Sturtivant, Teng), the
+// ingredient of the Miller–Teng–Thurston–Vavasis separator construction
+// that the paper's "Unit Time Separator Algorithm" relies on.
+//
+// A centerpoint of a set P in R^D is a point c such that every halfspace
+// containing c contains at least |P|/(D+1) points of P. Iterated Radon
+// replacement on a constant-size random sample yields a point with
+// Ω(|P|/(D+1)²)-depth with constant probability, which is all the
+// separator theorem needs; the constant sample size is what makes the
+// separator algorithm run in O(1) parallel time.
+package centerpoint
+
+import (
+	"errors"
+
+	"sepdc/internal/vec"
+	"sepdc/internal/xrand"
+)
+
+// ErrDegenerate is returned when a Radon partition cannot be computed from
+// the supplied points (they are affinely degenerate beyond repair).
+var ErrDegenerate = errors.New("centerpoint: degenerate point configuration")
+
+// RadonPoint computes a Radon point of exactly D+2 points in R^D: a point
+// lying in the convex hulls of both classes of a Radon partition. It finds
+// a nonzero affine dependence Σλ_i p_i = 0, Σλ_i = 0 and returns
+// Σ_{λ_i>0} λ_i p_i / Σ_{λ_i>0} λ_i.
+func RadonPoint(pts []vec.Vec) (vec.Vec, error) {
+	if len(pts) == 0 {
+		return nil, errors.New("centerpoint: no points")
+	}
+	d := len(pts[0])
+	if len(pts) != d+2 {
+		return nil, errors.New("centerpoint: RadonPoint needs exactly d+2 points")
+	}
+	// Homogeneous system: D coordinate rows plus the Σλ = 0 row; D+1
+	// equations in D+2 unknowns always has a nontrivial kernel.
+	A := make([][]float64, d+1)
+	for r := 0; r < d; r++ {
+		row := make([]float64, d+2)
+		for c, p := range pts {
+			row[c] = p[r]
+		}
+		A[r] = row
+	}
+	ones := make([]float64, d+2)
+	for c := range ones {
+		ones[c] = 1
+	}
+	A[d] = ones
+	lambda, err := vec.NullVector(A)
+	if err != nil {
+		return nil, ErrDegenerate
+	}
+	point := vec.New(d)
+	var posSum float64
+	for i, l := range lambda {
+		if l > 0 {
+			vec.AXPY(point, l, pts[i])
+			posSum += l
+		}
+	}
+	if posSum <= 1e-12 {
+		// The dependence is one-sided only if numerics failed; Σλ=0 with a
+		// nonzero λ guarantees both signs exist mathematically.
+		return nil, ErrDegenerate
+	}
+	return vec.ScaleTo(point, 1/posSum, point), nil
+}
+
+// Options controls the iterated-Radon approximation.
+type Options struct {
+	// SampleSize is the number of input points sampled (with replacement if
+	// the input is smaller). The default 256 keeps the computation O(1) in
+	// n while giving good empirical depth.
+	SampleSize int
+}
+
+func (o *Options) sampleSize() int {
+	if o == nil || o.SampleSize <= 0 {
+		return 256
+	}
+	return o.SampleSize
+}
+
+// Approx returns an approximate centerpoint of pts by a Radon tournament
+// (Clarkson–Eppstein–Miller–Sturtivant–Teng): a random sample is shuffled
+// and partitioned into groups of d+2, each group is replaced by its Radon
+// point, and the process repeats on the survivors until few remain; the
+// depth of the survivors ratchets up geometrically per level. Degenerate
+// groups fall back to their centroid, so the function always returns a
+// finite point; for fully degenerate inputs (all points equal) that is the
+// exact centerpoint.
+func Approx(pts []vec.Vec, g *xrand.RNG, opts *Options) vec.Vec {
+	if len(pts) == 0 {
+		panic("centerpoint: empty input")
+	}
+	d := len(pts[0])
+	groupSize := d + 2
+	ss := opts.sampleSize()
+	if ss < groupSize {
+		ss = groupSize
+	}
+	// Sample with replacement: cheap, unbiased, and safe for small inputs.
+	work := make([]vec.Vec, ss)
+	for i := range work {
+		work[i] = pts[g.IntN(len(pts))]
+	}
+	tuple := make([]vec.Vec, groupSize)
+	for len(work) >= groupSize {
+		g.Shuffle(len(work), func(i, j int) { work[i], work[j] = work[j], work[i] })
+		next := work[:0]
+		for i := 0; i+groupSize <= len(work); i += groupSize {
+			copy(tuple, work[i:i+groupSize])
+			rp, err := RadonPoint(tuple)
+			if err != nil {
+				rp = vec.Centroid(tuple)
+			}
+			next = append(next, rp)
+		}
+		if len(next) == 0 {
+			break
+		}
+		work = next
+	}
+	// Average the handful of deep survivors.
+	return vec.Centroid(work)
+}
+
+// Depth returns the Tukey depth of c in pts along nDirs random directions:
+// the minimum, over sampled unit directions u, of the number of points p
+// with u·(p−c) ≥ 0. An exact centerpoint has depth ≥ n/(D+1); this
+// randomized lower estimate is used by tests and the separator quality
+// experiment.
+func Depth(pts []vec.Vec, c vec.Vec, nDirs int, g *xrand.RNG) int {
+	if len(pts) == 0 {
+		return 0
+	}
+	d := len(c)
+	minCount := len(pts)
+	for t := 0; t < nDirs; t++ {
+		u := vec.Vec(g.UnitVector(d))
+		count := 0
+		for _, p := range pts {
+			if vec.Dot(u, vec.Sub(p, c)) >= 0 {
+				count++
+			}
+		}
+		if count < minCount {
+			minCount = count
+		}
+	}
+	return minCount
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+
+	"sepdc/internal/geom"
+	"sepdc/internal/march"
+	"sepdc/internal/nbrsys"
+	"sepdc/internal/septree"
+	"sepdc/internal/topk"
+	"sepdc/internal/vec"
+	"sepdc/internal/vm"
+	"sepdc/internal/xrand"
+)
+
+// crossing collects the members of side whose current k-neighborhood ball
+// crosses sep. A point whose list is not yet full (fewer than k neighbors
+// exist on its side) has a conceptually unbounded ball and is always
+// included. By Lemma 6.1 these are exactly the balls that can gain a
+// neighbor from the other side.
+func crossing(pts []vec.Vec, lists []*topk.List, side []int, sep geom.Separator, ctx *vm.Ctx) []int {
+	var out []int
+	for _, i := range side {
+		r2, full := lists[i].Radius2()
+		if !full {
+			out = append(out, i)
+			continue
+		}
+		// Inflate the radius a hair: sqrt rounding must never demote a
+		// crossing ball to interior/exterior (missing a tie candidate).
+		r := math.Sqrt(r2) * (1 + 1e-12)
+		if sep.ClassifyBall(pts[i], r) == geom.Crossing {
+			out = append(out, i)
+		}
+	}
+	ctx.Prim(len(side)) // classify all balls: one vector primitive
+	return out
+}
+
+// ballsOf converts the crossing indices into marching balls. Not-yet-full
+// lists produce balls with an effectively infinite radius, which the march
+// classifies as crossing everywhere and whose leaf test accepts every
+// point — precisely the needed semantics.
+func ballsOf(pts []vec.Vec, lists []*topk.List, idx []int) []march.Ball {
+	balls := make([]march.Ball, len(idx))
+	for j, i := range idx {
+		r2, full := lists[i].Radius2()
+		if !full {
+			balls[j] = march.Ball{ID: i, Center: pts[i], Radius: math.Inf(1), Radius2: math.Inf(1)}
+			continue
+		}
+		balls[j] = march.NewBall(i, pts[i], r2)
+	}
+	return balls
+}
+
+// fastCorrect runs the paper's Fast Correction in one direction: march the
+// crossing balls of one side down the partition tree of the other side and
+// offer every discovered (ball, point) pair to the ball's k-NN list.
+// Returns false when the march aborted on the active-ball limit, in which
+// case no list was modified and the caller must punt.
+func fastCorrect(pts []vec.Vec, lists []*topk.List, cross []int, otherTree *march.PNode,
+	activeLimit int, opts *Options, ctx *vm.Ctx, tl *tally) bool {
+
+	if len(cross) == 0 || otherTree == nil {
+		return true
+	}
+	balls := ballsOf(pts, lists, cross)
+	hits, st := march.Down(otherTree, pts, balls, activeLimit, ctx)
+	tl.add(func(s *Stats) {
+		s.Duplications += st.Duplications
+		if st.MaxActive > s.MaxMarchActive {
+			s.MaxMarchActive = st.MaxActive
+		}
+		if opts != nil && opts.CollectProfiles {
+			s.Profiles = append(s.Profiles, st.ActivePerLvl)
+		}
+	})
+	if st.Aborted {
+		return false
+	}
+	for _, h := range hits {
+		lists[h.BallID].Insert(h.Point, vec.Dist2(pts[h.BallID], pts[h.Point]))
+	}
+	// k-selection of the discovered candidates: one primitive over the hits
+	// (the paper's SCAN-based closest-point selection; O(log log k) steps
+	// for k > 1, absorbed into the constant here and noted in DESIGN.md).
+	ctx.PrimK(2, len(hits))
+	tl.add(func(s *Stats) {
+		s.CandidatePairs += len(hits)
+		s.FastCorrections++
+	})
+	return true
+}
+
+// queryCorrect is the punt path (and the Section-5 baseline's only path):
+// build the Section-3 search structure over the crossing balls of one side
+// and query every point of the other side against it, offering each
+// covering (ball, point) pair to the ball's list.
+//
+// Points whose lists are not full have unbounded balls that the search
+// structure cannot hold; they are corrected by direct scan over the other
+// side (there are at most k of them per side in practice, and the scan's
+// cost is charged faithfully).
+func queryCorrect(pts []vec.Vec, lists []*topk.List, cross []int, otherPts []int,
+	g *xrand.RNG, opts *Options, ctx *vm.Ctx, tl *tally) {
+
+	if len(cross) == 0 || len(otherPts) == 0 {
+		return
+	}
+	var finite []int
+	var unbounded []int
+	for _, i := range cross {
+		if _, full := lists[i].Radius2(); full {
+			finite = append(finite, i)
+		} else {
+			unbounded = append(unbounded, i)
+		}
+	}
+	// Unbounded balls: direct scan. Each such point needs every other-side
+	// point as a candidate.
+	for _, i := range unbounded {
+		for _, j := range otherPts {
+			lists[i].Insert(j, vec.Dist2(pts[i], pts[j]))
+		}
+	}
+	if len(unbounded) > 0 {
+		ctx.PrimK(len(unbounded), len(otherPts))
+		tl.add(func(s *Stats) { s.CandidatePairs += len(unbounded) * len(otherPts) })
+	}
+	if len(finite) == 0 {
+		tl.add(func(s *Stats) { s.QueryCorrections++ })
+		return
+	}
+
+	// Build the query structure over the finite crossing balls.
+	centers := make([]vec.Vec, len(finite))
+	radii := make([]float64, len(finite))
+	for j, i := range finite {
+		r2, _ := lists[i].Radius2()
+		centers[j] = pts[i]
+		radii[j] = math.Sqrt(r2) * (1 + 1e-12) // inflate: never lose a tie
+	}
+	sys := &nbrsys.System{Centers: centers, Radii: radii}
+	tree, err := septree.Build(sys, g.Split(), &septree.Options{Sep: opts.sep()})
+	if err != nil {
+		// Degenerate system (e.g. all centers identical): fall back to the
+		// direct scan, still exact.
+		for _, i := range finite {
+			for _, j := range otherPts {
+				lists[i].Insert(j, vec.Dist2(pts[i], pts[j]))
+			}
+		}
+		ctx.PrimK(len(finite), len(otherPts))
+		tl.add(func(s *Stats) {
+			s.CandidatePairs += len(finite) * len(otherPts)
+			s.QueryCorrections++
+		})
+		return
+	}
+	ctx.Charge(tree.Stats.Cost)
+	tl.add(func(s *Stats) { s.SeparatorTrials += tree.Stats.SeparatorTrials })
+
+	// Query all other-side points in parallel: steps = deepest query path,
+	// work = total nodes visited (plus the hits).
+	queries := make([]vec.Vec, len(otherPts))
+	for qi, j := range otherPts {
+		queries[qi] = pts[j]
+	}
+	results, cost := tree.QueryBatchClosed(queries, nil)
+	ctx.Charge(cost)
+	hits := 0
+	for qi, ballIdx := range results {
+		j := otherPts[qi]
+		for _, b := range ballIdx {
+			i := finite[b]
+			lists[i].Insert(j, vec.Dist2(pts[i], pts[j]))
+			hits++
+		}
+	}
+	tl.add(func(s *Stats) {
+		s.CandidatePairs += hits
+		s.QueryCorrections++
+	})
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"sepdc/internal/brute"
+	"sepdc/internal/march"
+	"sepdc/internal/separator"
+	"sepdc/internal/topk"
+	"sepdc/internal/vec"
+	"sepdc/internal/vm"
+	"sepdc/internal/xrand"
+)
+
+// SphereDNC computes the exact k-nearest-neighbor lists of pts with the
+// paper's Section-6 algorithm: sphere-separator divide and conquer with
+// Fast Correction and punting. See the package comment for the outline.
+func SphereDNC(pts []vec.Vec, g *xrand.RNG, opts *Options) (*Result, error) {
+	return run(pts, g, opts, sphereSplit)
+}
+
+// HyperplaneDNC computes the same lists with the Section-5 baseline:
+// median-hyperplane splits and query-structure correction at every node.
+func HyperplaneDNC(pts []vec.Vec, g *xrand.RNG, opts *Options) (*Result, error) {
+	return run(pts, g, opts, hyperplaneSplit)
+}
+
+// splitFunc produces a separator for a subproblem, reporting the trial
+// count and whether corrections must always take the query path. depth is
+// the recursion depth, which Bentley's rule uses to cycle dimensions.
+type splitFunc func(centers []vec.Vec, depth int, g *xrand.RNG, opts *Options) (sep separator.Result, alwaysQuery bool, err error)
+
+func sphereSplit(centers []vec.Vec, _ int, g *xrand.RNG, opts *Options) (separator.Result, bool, error) {
+	res, err := separator.FindGood(centers, g, opts.sep())
+	return res, false, err
+}
+
+// hyperplaneSplit is Bentley's oblivious rule: the median hyperplane
+// orthogonal to dimension depth mod d, without looking at the data's
+// shape. This is the faithful Section-5 baseline — and the reason the
+// baseline can be forced to cross Ω(n) balls by inputs concentrated along
+// a cutting hyperplane. When the cycled dimension has zero spread the
+// widest-dimension median is used so the recursion still progresses.
+func hyperplaneSplit(centers []vec.Vec, depth int, g *xrand.RNG, opts *Options) (separator.Result, bool, error) {
+	d := len(centers[0])
+	sep, err := separator.FixedHyperplane(centers, depth%d)
+	if err != nil {
+		sep, err = separator.MedianHyperplane(centers)
+		if err != nil {
+			return separator.Result{}, true, err
+		}
+	}
+	res := separator.Result{Sep: sep, Stats: separator.Evaluate(sep, centers), Trials: 1}
+	return res, true, nil
+}
+
+func run(pts []vec.Vec, g *xrand.RNG, opts *Options, split splitFunc) (*Result, error) {
+	if len(pts) == 0 {
+		return nil, errors.New("core: no points")
+	}
+	for _, p := range pts {
+		if len(p) != len(pts[0]) || !vec.IsFinite(p) {
+			return nil, errors.New("core: points must be finite and share one dimension")
+		}
+	}
+	k := opts.k()
+	lists := make([]*topk.List, len(pts))
+	for i := range lists {
+		lists[i] = topk.New(k)
+	}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	tl := &tally{}
+	ctx := opts.machine().NewCtx()
+	base := opts.baseSize(len(pts))
+	tree := rec(pts, idx, lists, 0, g, opts, split, base, ctx, tl)
+	tl.s.Cost = ctx.Cost()
+	return &Result{Lists: lists, Tree: tree, Stats: tl.s}, nil
+}
+
+func rec(pts []vec.Vec, idx []int, lists []*topk.List, depth int, g *xrand.RNG, opts *Options,
+	split splitFunc, base int, ctx *vm.Ctx, tl *tally) *march.PNode {
+
+	m := len(idx)
+	if m <= base {
+		// Base case: "deterministically compute the neighborhood system in
+		// m time using m processors by testing all pairs" (Section 6.1).
+		for i, l := range brute.AllKNNSubset(pts, idx, opts.k()) {
+			lists[idx[i]] = l
+		}
+		ctx.PrimK(m, m)
+		tl.add(func(s *Stats) { s.BaseCases++ })
+		return &march.PNode{Pts: idx}
+	}
+
+	centers := make([]vec.Vec, m)
+	for i, j := range idx {
+		centers[i] = pts[j]
+	}
+	res, alwaysQuery, err := split(centers, depth, g.Split(), opts)
+	if err != nil {
+		// Unsplittable subset (all points identical): brute force it.
+		for i, l := range brute.AllKNNSubset(pts, idx, opts.k()) {
+			lists[idx[i]] = l
+		}
+		ctx.PrimK(m, m)
+		tl.add(func(s *Stats) { s.BaseCases++ })
+		return &march.PNode{Pts: idx}
+	}
+	tl.add(func(s *Stats) {
+		s.Nodes++
+		s.SeparatorTrials += res.Trials
+		if res.Punted {
+			s.SeparatorPunts++
+		}
+	})
+	ctx.PrimK(res.Trials, m) // each Unit Time Separator trial: O(1) steps over m points
+
+	// Partition the points: interior side takes Side <= 0.
+	var inIdx, exIdx []int
+	for _, j := range idx {
+		if res.Sep.Side(pts[j]) <= 0 {
+			inIdx = append(inIdx, j)
+		} else {
+			exIdx = append(exIdx, j)
+		}
+	}
+	ctx.PrimK(2, m) // classify + pack
+	if len(inIdx) == 0 || len(exIdx) == 0 {
+		// A vacuous split (possible for hyperplanes on pathological data):
+		// brute force rather than recurse without progress.
+		for i, l := range brute.AllKNNSubset(pts, idx, opts.k()) {
+			lists[idx[i]] = l
+		}
+		ctx.PrimK(m, m)
+		tl.add(func(s *Stats) { s.BaseCases++ })
+		return &march.PNode{Pts: idx}
+	}
+
+	// Recurse on the two sides in parallel.
+	node := &march.PNode{Sep: res.Sep}
+	gl, gr := g.Split(), g.Split()
+	ctx.Fork(
+		func(c *vm.Ctx) { node.Left = rec(pts, inIdx, lists, depth+1, gl, opts, split, base, c, tl) },
+		func(c *vm.Ctx) { node.Right = rec(pts, exIdx, lists, depth+1, gr, opts, split, base, c, tl) },
+	)
+
+	// Correction phase (Section 6.1's Correction / Section 5's step 3).
+	crossIn := crossing(pts, lists, inIdx, res.Sep, ctx)
+	crossEx := crossing(pts, lists, exIdx, res.Sep, ctx)
+
+	gq := g.Split()
+	if alwaysQuery {
+		queryCorrect(pts, lists, crossIn, exIdx, gq, opts, ctx, tl)
+		queryCorrect(pts, lists, crossEx, inIdx, gq, opts, ctx, tl)
+		return node
+	}
+
+	// Punt threshold: attempt the fast path only when the crossing set is
+	// small (ι_{B_I}(S) + ι_{B_E}(S) < m^μ).
+	threshold := math.Pow(float64(m), opts.mu())
+	if float64(len(crossIn)+len(crossEx)) >= threshold {
+		tl.add(func(s *Stats) { s.ThresholdPunts++ })
+		queryCorrect(pts, lists, crossIn, exIdx, gq, opts, ctx, tl)
+		queryCorrect(pts, lists, crossEx, inIdx, gq, opts, ctx, tl)
+		return node
+	}
+
+	// Fast Correction, each direction independently; an aborted march
+	// punts only its own direction.
+	activeLimit := int(opts.activeFactor()*threshold*math.Log2(float64(m))) + 16
+	if !fastCorrect(pts, lists, crossIn, node.Right, activeLimit, opts, ctx, tl) {
+		tl.add(func(s *Stats) { s.MarchAborts++ })
+		queryCorrect(pts, lists, crossIn, exIdx, gq, opts, ctx, tl)
+	}
+	if !fastCorrect(pts, lists, crossEx, node.Left, activeLimit, opts, ctx, tl) {
+		tl.add(func(s *Stats) { s.MarchAborts++ })
+		queryCorrect(pts, lists, crossEx, inIdx, gq, opts, ctx, tl)
+	}
+	return node
+}

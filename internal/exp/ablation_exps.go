@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"math"
+
+	"sepdc/internal/core"
+	"sepdc/internal/pointgen"
+	"sepdc/internal/separator"
+	"sepdc/internal/stats"
+	"sepdc/internal/xrand"
+)
+
+// runE13 runs the design ablations DESIGN.md calls out:
+//
+//   - centerpoint method: the Radon tournament (the paper's substrate)
+//     versus the cheap sample-centroid heuristic — measured by separator
+//     trial counts and split quality;
+//   - the punt threshold exponent μ: how the fast/punt mix and the
+//     simulated cost respond to moving the ι(S) < m^μ cutoff.
+func runE13(cfg Config) []*stats.Table {
+	g := xrand.New(cfg.Seed + 13)
+	n := 1 << 14
+	if cfg.Quick {
+		n = 1 << 12
+	}
+
+	// Ablation A: centerpoint method.
+	tbA := &stats.Table{
+		Title:  "Ablation: Radon-tournament centerpoint vs sample centroid",
+		Header: []string{"input", "method", "mean trials", "med ratio", "punt rate"},
+	}
+	for _, dist := range []pointgen.Dist{pointgen.UniformCube, pointgen.Clustered, pointgen.HeavyTail} {
+		pts := pointgen.Dedup(pointgen.MustGenerate(dist, n, 2, g.Split()))
+		for _, method := range []struct {
+			name string
+			opts *separator.Options
+		}{
+			{"radon", nil},
+			{"centroid", &separator.Options{Centroid: true}},
+		} {
+			trials, punts := 0, 0
+			var ratios []float64
+			reps := 2 * cfg.repeats()
+			for r := 0; r < reps; r++ {
+				res, err := separator.FindGood(pts, g.Split(), method.opts)
+				if err != nil {
+					continue
+				}
+				trials += res.Trials
+				if res.Punted {
+					punts++
+				} else {
+					ratios = append(ratios, res.Stats.Ratio())
+				}
+			}
+			tbA.AddRow(string(dist), method.name,
+				float64(trials)/float64(reps),
+				stats.Summarize(ratios).Median,
+				float64(punts)/float64(reps))
+		}
+	}
+	tbA.AddNote("the tournament should need no more trials than the centroid, and never more punts; on skewed inputs (heavy-tail) the gap widens")
+
+	// Ablation B: punt threshold exponent μ.
+	tbB := &stats.Table{
+		Title:  "Ablation: punt threshold exponent μ (sphere D&C, uniform cube, d=2, k=1)",
+		Header: []string{"mu", "fast corr", "thresh punts", "aborts", "sim steps", "sim work"},
+	}
+	pts := pointgen.Dedup(pointgen.MustGenerate(pointgen.UniformCube, n, 2, g.Split()))
+	for _, mu := range []float64{0.6, 0.75, 0.9, 0.99} {
+		res, err := core.SphereDNC(pts, g.Split(), &core.Options{K: 1, Mu: mu})
+		if err != nil {
+			continue
+		}
+		st := res.Stats
+		tbB.AddRow(mu, st.FastCorrections, st.ThresholdPunts, st.MarchAborts,
+			st.Cost.Steps, st.Cost.Work)
+	}
+	tbB.AddNote("lower μ punts more (more log-cost query corrections); higher μ risks march aborts — steps should be minimized in the paper's regime (μ near (d−1)/d + ε)")
+
+	// Ablation C: base-case size (the paper's m ≤ log n rule).
+	tbC := &stats.Table{
+		Title:  "Ablation: base-case size (sphere D&C, uniform cube, d=2, k=1)",
+		Header: []string{"base", "base/log2 n", "sim steps", "sim work", "nodes"},
+	}
+	logN := math.Log2(float64(len(pts)))
+	for _, factor := range []float64{0.5, 1, 2, 8} {
+		base := int(factor * logN)
+		if base < 4 {
+			base = 4
+		}
+		res, err := core.SphereDNC(pts, g.Split(), &core.Options{K: 1, BaseSize: base})
+		if err != nil {
+			continue
+		}
+		tbC.AddRow(base, factor, res.Stats.Cost.Steps, res.Stats.Cost.Work, res.Stats.Nodes)
+	}
+	tbC.AddNote("the base case costs m steps sequentially, so oversizing it inflates the critical path linearly; the paper's log n choice balances the two")
+	return []*stats.Table{tbA, tbB, tbC}
+}

@@ -1,0 +1,87 @@
+// Package exp is the experiment harness of the reproduction. The paper is
+// a theory paper with no measured tables, so each experiment measures one
+// theorem or lemma with an observable shape; EXPERIMENTS.md records the
+// paper's claim next to the measured outcome. DESIGN.md §2 and §5 map the
+// experiments to claims and modules.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"sepdc/internal/stats"
+)
+
+// Config controls the sweep sizes of every experiment.
+type Config struct {
+	// Seed makes the whole experiment suite reproducible.
+	Seed uint64
+	// Quick shrinks the sweeps for CI and tests.
+	Quick bool
+	// Workers bounds goroutine parallelism for the parallel-machine runs
+	// (0 = GOMAXPROCS).
+	Workers int
+}
+
+// sizes returns the n-sweep used by scaling experiments.
+func (c Config) sizes() []int {
+	if c.Quick {
+		return []int{1 << 10, 1 << 12}
+	}
+	return []int{1 << 10, 1 << 12, 1 << 14, 1 << 16}
+}
+
+// repeats returns how many randomized repetitions to aggregate.
+func (c Config) repeats() int {
+	if c.Quick {
+		return 3
+	}
+	return 9
+}
+
+// Experiment is one reproducible measurement.
+type Experiment struct {
+	ID    string // "E1" … "E12"
+	Title string
+	Claim string // the paper statement being checked
+	Run   func(cfg Config) []*stats.Table
+}
+
+// All lists the experiments in numeric order.
+func All() []Experiment {
+	exps := []Experiment{
+		{"E1", "Sphere separator quality", "Thm 2.1 + Unit Time Separator: ι(S)=O(n^{(d−1)/d}), split ≤ (d+1)/(d+2)+ε, constant success probability", runE1},
+		{"E2", "Neighborhood query structure", "§3.2/Lemma 3.1: height O(log n), space O(n), query O(k+log n)", runE2},
+		{"E3", "Parallel construction depth", "Thm 3.1: critical-path separator trials O(log n) w.h.p.", runE3},
+		{"E4", "Punting Lemma tails", "Lemma 4.1/Cor 4.1: Pr(RD(n) > 2c·log n) ≤ n·A·e^{−c·log n}", runE4},
+		{"E5", "Hyperplane vs sphere crossings", "§1/§5: hyperplanes cross Ω(n) k-NN balls on adversarial inputs; spheres cross o(n)", runE5},
+		{"E6", "Simple Parallel D&C (hyperplane)", "Lemma 5.1: O(log² n) parallel time, n processors", runE6},
+		{"E7", "Parallel Nearest Neighborhood (sphere)", "Thm 6.1: random O(log n) parallel time, O(n log n) work", runE7},
+		{"E8", "Fast-correction marching profile", "Lemmas 6.2/6.4: active balls per level ≤ m^{1−η} w.h.p.; few duplications", runE8},
+		{"E9", "Correctness across inputs", "Definition 1.1: output graph equals brute-force graph exactly", runE9},
+		{"E10", "Reachability kernel cost", "Lemma 6.3: reachable leaves in O(1) steps per level via SCAN", runE10},
+		{"E11", "End-to-end algorithm comparison", "Sphere D&C does no more work than the sequential baseline; wins on parallel time", runE11},
+		{"E12", "Density Lemma", "Lemma 2.1: every k-neighborhood system is τ_d·k-ply", runE12},
+		{"E13", "Design ablations", "DESIGN.md §5 ablations: centerpoint method, punt threshold μ, base-case size", runE13},
+		{"E14", "Graph separator theorem", "§1: the k-NN graph has a sphere-induced vertex separator W of size o(n) covering all crossing edges", runE14},
+		{"E15", "Query-structure comparison", "§3.1: the separator structure vs the multi-dimensional-D&C role (practical BV-tree comparator): space/query trade-off", runE15},
+	}
+	sort.Slice(exps, func(i, j int) bool { return numOf(exps[i].ID) < numOf(exps[j].ID) })
+	return exps
+}
+
+func numOf(id string) int {
+	var n int
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// ByID finds an experiment by its identifier (case-sensitive, e.g. "E7").
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

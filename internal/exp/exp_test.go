@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	exps := All()
+	if len(exps) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(exps))
+	}
+	for i, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("experiment %d incomplete: %+v", i, e)
+		}
+	}
+	// Ordered E1..E12.
+	for i, e := range exps {
+		if numOf(e.ID) != i+1 {
+			t.Errorf("position %d holds %s", i, e.ID)
+		}
+	}
+	if _, ok := ByID("E7"); !ok {
+		t.Error("ByID(E7) failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID(E99) succeeded")
+	}
+}
+
+// TestAllExperimentsRunQuick executes the full suite in quick mode: every
+// experiment must produce at least one non-empty, renderable table. This is
+// the integration test of the whole reproduction pipeline.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	cfg := Config{Seed: 7, Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(cfg)
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("%s: table %q has no rows", e.ID, tb.Title)
+				}
+				out := tb.Render()
+				if !strings.Contains(out, tb.Header[0]) {
+					t.Errorf("%s: render missing header", e.ID)
+				}
+				if md := tb.Markdown(); !strings.Contains(md, "| --- |") && !strings.Contains(md, "| --- | ---") {
+					t.Errorf("%s: markdown malformed", e.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestE9ReportsNoFailures asserts the correctness experiment's bottom line.
+func TestE9ReportsNoFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	tables := runE9(Config{Seed: 3, Quick: true})
+	for _, tb := range tables {
+		for _, row := range tb.Rows {
+			for _, cell := range row {
+				if strings.Contains(cell, "DIFF") || strings.Contains(cell, "error") {
+					t.Errorf("correctness failure: %v", row)
+				}
+			}
+		}
+		for _, note := range tb.Notes {
+			if !strings.Contains(note, "failures: 0") {
+				t.Errorf("E9 note reports failures: %s", note)
+			}
+		}
+	}
+}
+
+// TestE12NoViolations asserts the density-lemma bound held.
+func TestE12NoViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	tables := runE12(Config{Seed: 4, Quick: true})
+	for _, tb := range tables {
+		for _, note := range tb.Notes {
+			if !strings.Contains(note, "violations of the τ_d·k bound: 0") {
+				t.Errorf("E12 reports violations: %s", note)
+			}
+		}
+	}
+}
+
+func TestConfigSweeps(t *testing.T) {
+	q := Config{Quick: true}
+	f := Config{}
+	if len(q.sizes()) >= len(f.sizes()) {
+		t.Error("quick sweep not smaller")
+	}
+	if q.repeats() >= f.repeats() {
+		t.Error("quick repeats not smaller")
+	}
+}

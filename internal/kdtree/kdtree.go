@@ -1,0 +1,190 @@
+// Package kdtree implements a median-split kd-tree with branch-and-bound
+// k-nearest-neighbor search. It stands in for Vaidya's O(n log n)
+// sequential all-nearest-neighbors algorithm as the sequential-work
+// comparator of the reproduction (see DESIGN.md, substitutions), and it is
+// also used internally to compute k-neighborhood systems quickly when
+// constructing experiment inputs.
+package kdtree
+
+import (
+	"sort"
+
+	"sepdc/internal/geom"
+	"sepdc/internal/topk"
+	"sepdc/internal/vec"
+)
+
+// Tree is an immutable kd-tree over a point set. It stores indices into the
+// caller's point slice; the points themselves are not copied.
+type Tree struct {
+	pts   []vec.Vec
+	root  *node
+	size  int
+	leafC int // leaf capacity used at build time
+}
+
+type node struct {
+	// Internal node fields.
+	dim   int     // splitting dimension
+	split float64 // splitting coordinate: left has p[dim] <= split
+	left  *node
+	right *node
+	// Bounding box of the subtree, for branch-and-bound pruning.
+	bounds geom.Bounds
+	// Leaf: indices of points stored here (nil for internal nodes).
+	idx []int
+}
+
+// DefaultLeafSize is the leaf capacity below which brute force takes over.
+const DefaultLeafSize = 16
+
+// Build constructs a kd-tree over pts with the default leaf size.
+func Build(pts []vec.Vec) *Tree { return BuildLeaf(pts, DefaultLeafSize) }
+
+// BuildLeaf constructs a kd-tree with the given leaf capacity.
+func BuildLeaf(pts []vec.Vec, leafSize int) *Tree {
+	if leafSize < 1 {
+		leafSize = 1
+	}
+	t := &Tree{pts: pts, size: len(pts), leafC: leafSize}
+	if len(pts) == 0 {
+		return t
+	}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(idx)
+	return t
+}
+
+func (t *Tree) build(idx []int) *node {
+	sub := make([]vec.Vec, len(idx))
+	for i, j := range idx {
+		sub[i] = t.pts[j]
+	}
+	b := geom.NewBounds(sub)
+	if len(idx) <= t.leafC {
+		return &node{bounds: b, idx: idx}
+	}
+	dim := b.WidestDim()
+	// Median split by nth-element semantics; a full sort keeps the code
+	// simple and the build is O(n log² n), irrelevant next to query cost.
+	sort.Slice(idx, func(a, c int) bool {
+		pa, pc := t.pts[idx[a]], t.pts[idx[c]]
+		if pa[dim] != pc[dim] {
+			return pa[dim] < pc[dim]
+		}
+		return idx[a] < idx[c] // deterministic total order
+	})
+	mid := len(idx) / 2
+	// Keep equal coordinates on one side to guarantee progress.
+	for mid < len(idx)-1 && t.pts[idx[mid]][dim] == t.pts[idx[mid-1]][dim] {
+		mid++
+	}
+	if mid == len(idx) {
+		// All remaining coordinates equal in this dimension; fall back to a
+		// plain halving split (points may be fully duplicated).
+		mid = len(idx) / 2
+	}
+	n := &node{dim: dim, split: t.pts[idx[mid-1]][dim], bounds: b}
+	n.left = t.build(append([]int(nil), idx[:mid]...))
+	n.right = t.build(append([]int(nil), idx[mid:]...))
+	return n
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.size }
+
+// KNN returns the k nearest neighbors of query q, excluding the optional
+// self index (pass −1 to exclude nothing), in canonical order.
+func (t *Tree) KNN(q vec.Vec, k, self int) *topk.List {
+	l := topk.New(k)
+	if t.root != nil {
+		t.knn(t.root, q, self, l)
+	}
+	return l
+}
+
+func (t *Tree) knn(n *node, q vec.Vec, self int, l *topk.List) {
+	if worst, ok := l.WorstDist2(); ok && n.bounds.Dist2ToPoint(q) > worst {
+		return
+	}
+	if n.idx != nil {
+		for _, j := range n.idx {
+			if j == self {
+				continue
+			}
+			l.Insert(j, vec.Dist2(q, t.pts[j]))
+		}
+		return
+	}
+	// Visit the nearer child first to tighten the bound early.
+	first, second := n.left, n.right
+	if q[n.dim] > n.split {
+		first, second = n.right, n.left
+	}
+	t.knn(first, q, self, l)
+	t.knn(second, q, self, l)
+}
+
+// AllKNN computes the k-NN lists of all indexed points sequentially. This
+// is the sequential-work comparator: one kd-tree query per point.
+func (t *Tree) AllKNN(k int) []*topk.List {
+	out := make([]*topk.List, t.size)
+	for i := 0; i < t.size; i++ {
+		out[i] = t.KNN(t.pts[i], k, i)
+	}
+	return out
+}
+
+// InBall returns the indices of all points within the closed ball
+// (center, r), excluding self (pass −1 to keep all).
+func (t *Tree) InBall(center vec.Vec, r float64, self int) []int {
+	var out []int
+	if t.root == nil {
+		return out
+	}
+	r2 := r * r
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.bounds.Dist2ToPoint(center) > r2 {
+			return
+		}
+		if n.idx != nil {
+			for _, j := range n.idx {
+				if j == self {
+					continue
+				}
+				if vec.Dist2(center, t.pts[j]) <= r2 {
+					out = append(out, j)
+				}
+			}
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	sort.Ints(out)
+	return out
+}
+
+// Height returns the height of the tree (a single leaf has height 1).
+func (t *Tree) Height() int {
+	var h func(n *node) int
+	h = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		if n.idx != nil {
+			return 1
+		}
+		l, r := h(n.left), h(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return h(t.root)
+}

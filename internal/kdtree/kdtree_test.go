@@ -1,0 +1,135 @@
+package kdtree
+
+import (
+	"testing"
+
+	"sepdc/internal/brute"
+	"sepdc/internal/pointgen"
+	"sepdc/internal/topk"
+	"sepdc/internal/vec"
+	"sepdc/internal/xrand"
+)
+
+func TestKNNMatchesBruteAcrossDistributions(t *testing.T) {
+	g := xrand.New(1)
+	for _, dist := range pointgen.All {
+		for _, d := range []int{1, 2, 3} {
+			pts := pointgen.Dedup(pointgen.MustGenerate(dist, 300, d, g.Split()))
+			tree := Build(pts)
+			k := 3
+			want := brute.AllKNN(pts, k)
+			for q := range pts {
+				got := tree.KNN(pts[q], k, q)
+				if !topk.Equal(got, want[q]) {
+					t.Fatalf("%s d=%d q=%d: kdtree %v != brute %v",
+						dist, d, q, got.Items(), want[q].Items())
+				}
+			}
+		}
+	}
+}
+
+func TestAllKNNMatchesPerQuery(t *testing.T) {
+	g := xrand.New(2)
+	pts := pointgen.MustGenerate(pointgen.UniformBall, 200, 3, g)
+	tree := Build(pts)
+	all := tree.AllKNN(4)
+	for q := range pts {
+		if !topk.Equal(all[q], tree.KNN(pts[q], 4, q)) {
+			t.Fatalf("AllKNN diverges at %d", q)
+		}
+	}
+}
+
+func TestInBallMatchesBrute(t *testing.T) {
+	g := xrand.New(3)
+	pts := pointgen.MustGenerate(pointgen.Clustered, 400, 2, g)
+	tree := Build(pts)
+	for trial := 0; trial < 50; trial++ {
+		center := pts[g.IntN(len(pts))]
+		r := g.Float64() * 3
+		got := tree.InBall(center, r, -1)
+		want := brute.PointsInBall(pts, center, r, -1)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d vs %d points", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: %v vs %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestInBallExcludesSelf(t *testing.T) {
+	pts := []vec.Vec{vec.Of(0, 0), vec.Of(0.1, 0)}
+	tree := Build(pts)
+	got := tree.InBall(pts[0], 1, 0)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("InBall with self exclusion = %v", got)
+	}
+}
+
+func TestEmptyAndTinyTrees(t *testing.T) {
+	empty := Build(nil)
+	if empty.Len() != 0 || empty.Height() != 0 {
+		t.Error("empty tree wrong shape")
+	}
+	if l := empty.KNN(vec.Of(0, 0), 3, -1); l.Len() != 0 {
+		t.Error("empty tree returned neighbors")
+	}
+	one := Build([]vec.Vec{vec.Of(1, 2)})
+	if l := one.KNN(vec.Of(0, 0), 3, -1); l.Len() != 1 {
+		t.Error("single-point tree query failed")
+	}
+}
+
+func TestDuplicatePointsDoNotLoop(t *testing.T) {
+	// All points identical: the build must terminate and queries must work.
+	pts := make([]vec.Vec, 100)
+	for i := range pts {
+		pts[i] = vec.Of(1, 1)
+	}
+	tree := BuildLeaf(pts, 4)
+	l := tree.KNN(vec.Of(1, 1), 5, 0)
+	if l.Len() != 5 {
+		t.Fatalf("duplicate-point query returned %d neighbors", l.Len())
+	}
+	for _, nb := range l.Items() {
+		if nb.Dist2 != 0 {
+			t.Errorf("nonzero distance %v between duplicates", nb.Dist2)
+		}
+	}
+}
+
+func TestHeightReasonable(t *testing.T) {
+	g := xrand.New(4)
+	pts := pointgen.MustGenerate(pointgen.UniformCube, 1<<12, 2, g)
+	tree := BuildLeaf(pts, 8)
+	h := tree.Height()
+	// n/leaf = 512 leaves -> expect height around 10; allow generous slack.
+	if h < 5 || h > 25 {
+		t.Errorf("height = %d for 4096 uniform points", h)
+	}
+}
+
+func TestBuildLeafClampsLeafSize(t *testing.T) {
+	pts := pointgen.MustGenerate(pointgen.UniformCube, 50, 2, xrand.New(5))
+	tree := BuildLeaf(pts, 0) // clamped to 1
+	if tree.Len() != 50 {
+		t.Error("tree lost points")
+	}
+	want := brute.KNN(pts, 0, 3)
+	if !topk.Equal(tree.KNN(pts[0], 3, 0), want) {
+		t.Error("leaf-size-1 tree wrong")
+	}
+}
+
+func TestKNNWithKLargerThanN(t *testing.T) {
+	pts := pointgen.MustGenerate(pointgen.Gaussian, 5, 2, xrand.New(6))
+	tree := Build(pts)
+	l := tree.KNN(pts[0], 10, 0)
+	if l.Len() != 4 {
+		t.Errorf("k>n query returned %d neighbors, want 4", l.Len())
+	}
+}

@@ -1,0 +1,111 @@
+package knngraph
+
+import (
+	"sepdc/internal/geom"
+	"sepdc/internal/nbrsys"
+	"sepdc/internal/vec"
+)
+
+// This file realizes the introduction's graph-separator statement: "given
+// a set of points P and its associated k-nearest neighbor graph G there
+// exists a sphere S such that the number of points interior to S is
+// approximately equal to the number exterior to S, and there is a o(n)
+// size subset of vertices W such that every edge crossing S has one end
+// point in W."
+//
+// The witness is constructive: if edge {u, v} crosses S with v ∈ kNN(u),
+// then dist(u, v) is at most u's k-th neighbor distance, so u's
+// k-neighborhood ball contains a point on the other side of S and must
+// cross S. Hence W = {u : B_u crosses S} covers every crossing edge, and
+// |W| = ι_B(S) — exactly the quantity the Sphere Separator Theorem bounds
+// by O(n^{(d−1)/d}).
+
+// VertexSeparator describes the graph separator induced by a sphere.
+type VertexSeparator struct {
+	// W is the separator vertex set (ascending indices).
+	W []int
+	// CrossingEdges counts edges with endpoints on opposite sides of S.
+	CrossingEdges int
+	// Covered counts crossing edges with at least one endpoint in W;
+	// the separator property is Covered == CrossingEdges.
+	Covered int
+	// InteriorVerts and ExteriorVerts count the two sides (W members are
+	// counted on their geometric side too).
+	InteriorVerts, ExteriorVerts int
+	// ComponentsAfterRemoval is the number of connected components of
+	// G − W restricted to edges, never smaller than 2 for a genuine
+	// separator on a connected graph.
+	ComponentsAfterRemoval int
+}
+
+// InducedVertexSeparator computes the vertex separator W that the sphere
+// sep induces on the k-NN graph g of the points pts, together with the
+// verification counters. sys must be the k-neighborhood system of pts
+// with the same k as g.
+func InducedVertexSeparator(g *Graph, pts []vec.Vec, sys *nbrsys.System, sep geom.Separator) VertexSeparator {
+	var out VertexSeparator
+	inW := make([]bool, g.N)
+	for i := 0; i < g.N; i++ {
+		if sep.ClassifyBall(sys.Centers[i], sys.Radii[i]) == geom.Crossing {
+			inW[i] = true
+			out.W = append(out.W, i)
+		}
+	}
+	side := make([]int, g.N)
+	for i, p := range pts {
+		if sep.Side(p) <= 0 {
+			side[i] = -1
+			out.InteriorVerts++
+		} else {
+			side[i] = 1
+			out.ExteriorVerts++
+		}
+	}
+	for u := 0; u < g.N; u++ {
+		for _, v32 := range g.Neighbors(u) {
+			v := int(v32)
+			if u >= v {
+				continue
+			}
+			if side[u] != side[v] {
+				out.CrossingEdges++
+				if inW[u] || inW[v] {
+					out.Covered++
+				}
+			}
+		}
+	}
+	out.ComponentsAfterRemoval = componentsWithout(g, inW)
+	return out
+}
+
+// componentsWithout counts connected components of the graph after
+// deleting the masked vertices.
+func componentsWithout(g *Graph, removed []bool) int {
+	labels := make([]int, g.N)
+	for i := range labels {
+		labels[i] = -1
+	}
+	count := 0
+	var stack []int32
+	for v := 0; v < g.N; v++ {
+		if removed[v] || labels[v] >= 0 {
+			continue
+		}
+		labels[v] = count
+		stack = append(stack[:0], int32(v))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Neighbors(int(u)) {
+				if removed[w] || labels[w] >= 0 {
+					continue
+				}
+				labels[w] = count
+				stack = append(stack, w)
+			}
+		}
+		count++
+	}
+	return count
+}

@@ -1,0 +1,124 @@
+package knngraph
+
+import (
+	"math"
+	"testing"
+
+	"sepdc/internal/brute"
+	"sepdc/internal/geom"
+	"sepdc/internal/nbrsys"
+	"sepdc/internal/pointgen"
+	"sepdc/internal/separator"
+	"sepdc/internal/vec"
+	"sepdc/internal/xrand"
+)
+
+func TestVertexSeparatorCoversAllCrossingEdges(t *testing.T) {
+	g := xrand.New(1)
+	for _, dist := range []pointgen.Dist{pointgen.UniformCube, pointgen.Clustered, pointgen.Annulus} {
+		for _, k := range []int{1, 3} {
+			pts := pointgen.Dedup(pointgen.MustGenerate(dist, 1500, 2, g.Split()))
+			sys := nbrsys.KNeighborhood(pts, k)
+			graph := FromLists(brute.AllKNN(pts, k), k)
+			res, err := separator.FindGood(pts, g.Split(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vs := InducedVertexSeparator(graph, pts, sys, res.Sep)
+			// The central property: W covers EVERY crossing edge.
+			if vs.Covered != vs.CrossingEdges {
+				t.Fatalf("%s k=%d: only %d/%d crossing edges covered by W",
+					dist, k, vs.Covered, vs.CrossingEdges)
+			}
+			// |W| equals the intersection number by construction.
+			if len(vs.W) != sys.IntersectionNumber(res.Sep) {
+				t.Errorf("%s k=%d: |W|=%d but ι=%d", dist, k, len(vs.W),
+					sys.IntersectionNumber(res.Sep))
+			}
+			// W is o(n)-sized: comfortably below n even at this small scale.
+			if len(vs.W) > len(pts)/2 {
+				t.Errorf("%s k=%d: |W|=%d not sublinear for n=%d", dist, k, len(vs.W), len(pts))
+			}
+			if vs.InteriorVerts+vs.ExteriorVerts != len(pts) {
+				t.Error("side counts do not partition the vertices")
+			}
+		}
+	}
+}
+
+func TestVertexSeparatorSublinearScaling(t *testing.T) {
+	// |W| = ι(S) should scale like n^{(d-1)/d}; check it at two sizes.
+	g := xrand.New(2)
+	wSize := func(n int) int {
+		pts := pointgen.Dedup(pointgen.MustGenerate(pointgen.UniformCube, n, 2, g.Split()))
+		sys := nbrsys.KNeighborhood(pts, 1)
+		graph := FromLists(brute.AllKNN(pts, 1), 1)
+		best := n
+		for r := 0; r < 5; r++ {
+			res, err := separator.FindGood(pts, g.Split(), nil)
+			if err != nil || res.Punted {
+				continue
+			}
+			vs := InducedVertexSeparator(graph, pts, sys, res.Sep)
+			if len(vs.W) < best {
+				best = len(vs.W)
+			}
+		}
+		return best
+	}
+	small, large := wSize(1000), wSize(4000)
+	if small == 0 {
+		small = 1
+	}
+	growth := float64(large) / float64(small)
+	if growth > 3.5 { // sqrt scaling would be 2
+		t.Errorf("|W| grew %vx on 4x points; expected ~2x", growth)
+	}
+}
+
+func TestVertexSeparatorDisconnects(t *testing.T) {
+	// Removing W must leave the interior and exterior with no crossing
+	// edges — so on a connected graph the component count rises.
+	g := xrand.New(3)
+	pts := pointgen.Dedup(pointgen.MustGenerate(pointgen.JitteredGrid, 2000, 2, g))
+	k := 4 // high enough for a connected graph on a grid
+	sys := nbrsys.KNeighborhood(pts, k)
+	graph := FromLists(brute.AllKNN(pts, k), k)
+	if _, c := graph.Components(); c != 1 {
+		t.Skipf("grid graph not connected (components=%d)", c)
+	}
+	res, err := separator.FindGood(pts, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := InducedVertexSeparator(graph, pts, sys, res.Sep)
+	if vs.ComponentsAfterRemoval < 2 {
+		t.Errorf("G - W has %d components; separator did not disconnect", vs.ComponentsAfterRemoval)
+	}
+}
+
+func TestVertexSeparatorHandMade(t *testing.T) {
+	// Four collinear points, k=1: balls of the middle pair cross a sphere
+	// between them.
+	pts := []vec.Vec{vec.Of(0), vec.Of(1), vec.Of(3), vec.Of(4)}
+	k := 1
+	sys := nbrsys.KNeighborhood(pts, k)
+	graph := FromLists(brute.AllKNN(pts, k), k)
+	// A sphere (in 1-D: the pair of points {2-r, 2+r}) centered at 2.
+	sep := geom.Sphere{Center: vec.Of(2), Radius: 0.5}
+	vs := InducedVertexSeparator(graph, pts, sys, sep)
+	if vs.CrossingEdges != 0 {
+		// Edges {0,1} and {2,3} do not cross x∈(1.5,2.5); no edge crosses.
+		t.Errorf("unexpected crossing edges: %+v", vs)
+	}
+	// A sphere splitting 0|1: edge {0,1} crosses, and ball of 0 (radius 1)
+	// or 1 must be in W.
+	sep2 := geom.Sphere{Center: vec.Of(0), Radius: 0.5}
+	vs2 := InducedVertexSeparator(graph, pts, sys, sep2)
+	if vs2.CrossingEdges != 1 || vs2.Covered != 1 {
+		t.Errorf("expected one covered crossing edge: %+v", vs2)
+	}
+	if math.Abs(float64(vs2.InteriorVerts-1)) > 0 {
+		t.Errorf("interior verts = %d, want 1", vs2.InteriorVerts)
+	}
+}

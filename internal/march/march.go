@@ -1,0 +1,223 @@
+// Package march implements Section 6.2 of the paper: marching the crossing
+// balls of one side of a sphere separator down the partition tree of the
+// other side to find, for each ball B, the set of points contained in B —
+// the Fast Correction's candidate-discovery step.
+//
+// Reachability (the paper's recursive definition) is:
+//
+//	– the root is reachable;
+//	– if v is reachable and B intersects S_v or its interior, the left
+//	  child is reachable;
+//	– if v is reachable and B intersects S_v or its exterior, the right
+//	  child is reachable.
+//
+// A ball crossing S_v is therefore *duplicated* into both children. The
+// march proceeds level-synchronously; Lemma 6.2 promises that with high
+// probability the number of active (ball, node) pairs at every level stays
+// sublinear (≤ m^{1−η}), and Lemma 6.4 bounds the duplications per level.
+// When the bound is violated the march aborts and the caller punts to the
+// query-structure correction.
+//
+// Cost accounting: by Lemma 6.3 the reachable leaves of a whole tree are
+// computed in O(1) steps (label every node in parallel, then one AND-scan
+// per root-leaf path) given h·2^h processors, and the paper marches the
+// remaining levels in a constant number of such chunks once the active-
+// ball bound holds. The simulated charge is therefore a constant number of
+// steps per march with work equal to the total (ball, node) pairs visited
+// plus the leaf scans — the quantities the active-ball bound keeps at
+// O(m). The Go execution is level-synchronous (the natural sequential
+// realization); the charge reflects the PRAM algorithm.
+package march
+
+import (
+	"math"
+
+	"sepdc/internal/geom"
+	"sepdc/internal/vec"
+	"sepdc/internal/vm"
+)
+
+// PNode is a node of a partition tree: the by-product of the sphere
+// divide-and-conquer recursion over a point set. Internal nodes carry the
+// separator used at that recursion step; leaves carry point indices.
+type PNode struct {
+	Sep   geom.Separator
+	Left  *PNode
+	Right *PNode
+	Pts   []int // leaf payload: global point indices
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *PNode) IsLeaf() bool { return n.Sep == nil }
+
+// Height returns the height of the tree (a lone leaf has height 1).
+func (n *PNode) Height() int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		return 1
+	}
+	l, r := n.Left.Height(), n.Right.Height()
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Leaves appends all leaf payloads (the points of the subtree) to dst.
+func (n *PNode) Leaves(dst []int) []int {
+	if n == nil {
+		return dst
+	}
+	if n.IsLeaf() {
+		return append(dst, n.Pts...)
+	}
+	dst = n.Left.Leaves(dst)
+	return n.Right.Leaves(dst)
+}
+
+// Ball is one marching ball: its geometry plus the caller's identifier
+// (typically the index of the point whose k-neighborhood ball it is).
+//
+// Radius drives tree descent (separator classification) and Radius2 drives
+// the exact leaf containment test. Callers that compute the radius from a
+// squared distance should pass a slightly inflated Radius together with
+// the exact Radius2: over-descending only duplicates work, while the exact
+// squared test guarantees no tie candidate is lost to sqrt rounding.
+type Ball struct {
+	ID      int
+	Center  vec.Vec
+	Radius  float64
+	Radius2 float64
+}
+
+// NewBall builds a marching ball from an exact squared radius, inflating
+// the descent radius by one part in 2^40 to absorb sqrt rounding.
+func NewBall(id int, center vec.Vec, radius2 float64) Ball {
+	r := math.Sqrt(radius2)
+	return Ball{ID: id, Center: center, Radius: r * (1 + 1e-12), Radius2: radius2}
+}
+
+// Stats describes one march.
+type Stats struct {
+	Levels       int   // tree levels traversed
+	MaxActive    int   // max (ball, node) pairs active at any level
+	TotalVisited int   // Σ active over levels: the work of the reachability kernel
+	Duplications int   // crossing-ball duplications (Lemma 6.4's quantity)
+	ActivePerLvl []int // full per-level profile for experiment E8
+	Aborted      bool  // true when MaxActive exceeded the caller's limit
+}
+
+// Hit pairs a ball with a point found inside it.
+type Hit struct {
+	BallID int
+	Point  int
+}
+
+// marchSteps is the constant step charge of one march: node labeling, the
+// per-chunk AND-scans, the pack of reached leaves, and the leaf scans —
+// each a unit-time vector primitive on the paper's machine.
+const marchSteps = 4
+
+// Down marches balls down the partition tree rooted at root. For every
+// ball, every reachable leaf is scanned and the points lying in the closed
+// ball are reported as hits. activeLimit aborts the march when the number
+// of active pairs at some level exceeds it (pass 0 for unlimited); on
+// abort the returned hits are nil and Stats.Aborted is set — the caller
+// must fall back to the query-structure correction (the paper's punt).
+//
+// The simulated cost charged to ctx follows Lemma 6.3: each level is a
+// constant number of vector primitives whose width is the level's active
+// pair count; the leaf scans charge one primitive per scanned point.
+func Down(root *PNode, pts []vec.Vec, balls []Ball, activeLimit int, ctx *vm.Ctx) ([]Hit, Stats) {
+	var st Stats
+	if root == nil || len(balls) == 0 {
+		return nil, st
+	}
+	type item struct {
+		node *PNode
+		ball int // index into balls
+	}
+	frontier := make([]item, 0, len(balls))
+	for i := range balls {
+		frontier = append(frontier, item{node: root, ball: i})
+	}
+	var hits []Hit
+	leafWork := 0
+	defer func() {
+		if ctx != nil {
+			// Constant steps for the whole march (Lemma 6.3, chunked);
+			// work = all (ball, node) pairs labeled plus the leaf scans.
+			ctx.Charge(vm.Cost{Steps: marchSteps, Work: int64(st.TotalVisited + leafWork)})
+		}
+	}()
+	for len(frontier) > 0 {
+		st.Levels++
+		st.ActivePerLvl = append(st.ActivePerLvl, len(frontier))
+		if len(frontier) > st.MaxActive {
+			st.MaxActive = len(frontier)
+		}
+		st.TotalVisited += len(frontier)
+		if activeLimit > 0 && len(frontier) > activeLimit {
+			st.Aborted = true
+			return nil, st
+		}
+		next := frontier[:0:0]
+		for _, it := range frontier {
+			b := &balls[it.ball]
+			n := it.node
+			if n.IsLeaf() {
+				leafWork += len(n.Pts)
+				r2 := b.Radius2
+				for _, p := range n.Pts {
+					if vec.Dist2(pts[p], b.Center) <= r2 {
+						hits = append(hits, Hit{BallID: b.ID, Point: p})
+					}
+				}
+				continue
+			}
+			switch n.Sep.ClassifyBall(b.Center, b.Radius) {
+			case geom.Interior:
+				next = append(next, item{node: n.Left, ball: it.ball})
+			case geom.Exterior:
+				next = append(next, item{node: n.Right, ball: it.ball})
+			default: // Crossing: duplicate into both subtrees
+				st.Duplications++
+				next = append(next,
+					item{node: n.Left, ball: it.ball},
+					item{node: n.Right, ball: it.ball})
+			}
+		}
+		frontier = next
+	}
+	return hits, st
+}
+
+// ReachableLeaves computes, for a single ball, the set of reachable leaves
+// of the tree by the labeling formulation of Lemma 6.3: every node is
+// labeled 1 when the parent's separator admits the ball on that side, and
+// a leaf is reachable iff the AND over its root path is 1. It exists to
+// cross-validate Down (the two formulations must agree) and to measure the
+// kernel in isolation for experiment E10.
+func ReachableLeaves(root *PNode, b Ball) []*PNode {
+	if root == nil {
+		return nil
+	}
+	var out []*PNode
+	var walk func(n *PNode, pathOK bool)
+	walk = func(n *PNode, pathOK bool) {
+		if !pathOK {
+			return
+		}
+		if n.IsLeaf() {
+			out = append(out, n)
+			return
+		}
+		rel := n.Sep.ClassifyBall(b.Center, b.Radius)
+		walk(n.Left, rel != geom.Exterior)
+		walk(n.Right, rel != geom.Interior)
+	}
+	walk(root, true)
+	return out
+}

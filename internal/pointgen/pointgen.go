@@ -1,0 +1,180 @@
+// Package pointgen generates the synthetic point workloads used by the
+// experiments. The paper's theorems are input-oblivious, so the suite
+// covers both benign distributions (uniform, Gaussian) and geometries that
+// are adversarial for the hyperplane baseline (thin annuli, tight clusters,
+// near-lower-dimensional sets) — the Ω(n) hyperplane-crossing examples the
+// introduction alludes to.
+//
+// All generators are deterministic given an *xrand.RNG and return fresh
+// [][]float64-compatible vec.Vec slices.
+package pointgen
+
+import (
+	"fmt"
+	"math"
+
+	"sepdc/internal/vec"
+	"sepdc/internal/xrand"
+)
+
+// Dist names a workload distribution.
+type Dist string
+
+const (
+	// UniformCube draws points uniformly from [0,1)^d.
+	UniformCube Dist = "uniform-cube"
+	// UniformBall draws points uniformly from the unit ball.
+	UniformBall Dist = "uniform-ball"
+	// Gaussian draws each coordinate from N(0,1).
+	Gaussian Dist = "gaussian"
+	// Clustered draws from a mixture of sqrt(n) tight Gaussian clusters
+	// with uniformly placed centers; exercises highly non-uniform density.
+	Clustered Dist = "clustered"
+	// Annulus draws points from a thin spherical shell. Hyperplanes through
+	// the middle cut Θ(n^{...}) of the k-NN balls along the shell, whereas a
+	// sphere separator concentric with the shell cuts almost none — the
+	// adversarial case for the Bentley baseline.
+	Annulus Dist = "annulus"
+	// JitteredGrid places points on a regular grid perturbed by small noise;
+	// the classic "mesh-like" input of the separator literature.
+	JitteredGrid Dist = "jittered-grid"
+	// LineNoise spreads points along a 1-dimensional segment embedded in R^d
+	// with small transverse noise; near-degenerate inputs stress the
+	// stereographic machinery.
+	LineNoise Dist = "line-noise"
+	// HeavyTail draws radii from a Pareto-like distribution, producing a few
+	// extreme outliers far from the bulk.
+	HeavyTail Dist = "heavy-tail"
+)
+
+// All lists every distribution, for sweep experiments.
+var All = []Dist{UniformCube, UniformBall, Gaussian, Clustered, Annulus, JitteredGrid, LineNoise, HeavyTail}
+
+// Generate returns n points in R^d drawn from dist.
+func Generate(dist Dist, n, d int, g *xrand.RNG) ([]vec.Vec, error) {
+	if n < 0 || d < 1 {
+		return nil, fmt.Errorf("pointgen: invalid n=%d d=%d", n, d)
+	}
+	pts := make([]vec.Vec, n)
+	switch dist {
+	case UniformCube:
+		for i := range pts {
+			pts[i] = vec.Vec(g.InCube(d))
+		}
+	case UniformBall:
+		for i := range pts {
+			pts[i] = vec.Vec(g.InBall(d))
+		}
+	case Gaussian:
+		for i := range pts {
+			p := make(vec.Vec, d)
+			for j := range p {
+				p[j] = g.NormFloat64()
+			}
+			pts[i] = p
+		}
+	case Clustered:
+		k := int(math.Sqrt(float64(n)))
+		if k < 1 {
+			k = 1
+		}
+		centers := make([]vec.Vec, k)
+		for i := range centers {
+			centers[i] = vec.Scale(10, vec.Vec(g.InCube(d)))
+		}
+		sigma := 10.0 / (4 * math.Pow(float64(k), 1/float64(d)))
+		for i := range pts {
+			c := centers[g.IntN(k)]
+			p := make(vec.Vec, d)
+			for j := range p {
+				p[j] = c[j] + sigma*g.NormFloat64()
+			}
+			pts[i] = p
+		}
+	case Annulus:
+		const width = 0.02
+		for i := range pts {
+			dir := vec.Vec(g.UnitVector(d))
+			r := 1 + width*(g.Float64()-0.5)
+			pts[i] = vec.Scale(r, dir)
+		}
+	case JitteredGrid:
+		side := int(math.Ceil(math.Pow(float64(n), 1/float64(d))))
+		if side < 1 {
+			side = 1
+		}
+		jitter := 0.25 / float64(side)
+		idx := make([]int, d)
+		for i := range pts {
+			p := make(vec.Vec, d)
+			for j := 0; j < d; j++ {
+				p[j] = (float64(idx[j])+0.5)/float64(side) + jitter*(g.Float64()*2-1)
+			}
+			pts[i] = p
+			// Advance the mixed-radix grid counter.
+			for j := 0; j < d; j++ {
+				idx[j]++
+				if idx[j] < side {
+					break
+				}
+				idx[j] = 0
+			}
+		}
+	case LineNoise:
+		const noise = 1e-3
+		for i := range pts {
+			p := make(vec.Vec, d)
+			p[0] = g.Float64() * 10
+			for j := 1; j < d; j++ {
+				p[j] = noise * g.NormFloat64()
+			}
+			pts[i] = p
+		}
+	case HeavyTail:
+		for i := range pts {
+			dir := vec.Vec(g.UnitVector(d))
+			// Pareto radius with tail index 1.5, capped to keep arithmetic sane.
+			r := math.Min(math.Pow(g.Float64(), -1/1.5)-1, 1e6)
+			pts[i] = vec.Scale(r, dir)
+		}
+	default:
+		return nil, fmt.Errorf("pointgen: unknown distribution %q", dist)
+	}
+	return pts, nil
+}
+
+// MustGenerate is Generate for tests and examples with known-good inputs.
+func MustGenerate(dist Dist, n, d int, g *xrand.RNG) []vec.Vec {
+	pts, err := Generate(dist, n, d, g)
+	if err != nil {
+		panic(err)
+	}
+	return pts
+}
+
+// Dedup removes exact duplicate points, preserving first occurrences. The
+// k-neighborhood system is only well defined for distinct points (a
+// duplicate has its k-th neighbor at distance 0, which is legal but makes
+// several separator quality measures vacuous), so experiments dedup first.
+func Dedup(pts []vec.Vec) []vec.Vec {
+	type key string
+	seen := make(map[key]struct{}, len(pts))
+	out := pts[:0:0]
+	buf := make([]byte, 0, 64)
+	for _, p := range pts {
+		buf = buf[:0]
+		for _, x := range p {
+			bits := math.Float64bits(x)
+			for s := 0; s < 64; s += 8 {
+				buf = append(buf, byte(bits>>uint(s)))
+			}
+		}
+		k := key(buf)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package pointgen
+
+import (
+	"math"
+	"testing"
+
+	"sepdc/internal/vec"
+	"sepdc/internal/xrand"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	g := xrand.New(1)
+	for _, dist := range All {
+		for _, d := range []int{1, 2, 3, 5} {
+			pts, err := Generate(dist, 100, d, g)
+			if err != nil {
+				t.Fatalf("%s d=%d: %v", dist, d, err)
+			}
+			if len(pts) != 100 {
+				t.Fatalf("%s: got %d points", dist, len(pts))
+			}
+			for _, p := range pts {
+				if p.Dim() != d {
+					t.Fatalf("%s: point dim %d, want %d", dist, p.Dim(), d)
+				}
+				if !vec.IsFinite(p) {
+					t.Fatalf("%s: non-finite point %v", dist, p)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	g := xrand.New(2)
+	if _, err := Generate(UniformCube, -1, 2, g); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := Generate(UniformCube, 10, 0, g); err == nil {
+		t.Error("zero dimension accepted")
+	}
+	if _, err := Generate(Dist("nonsense"), 10, 2, g); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(Gaussian, 50, 3, xrand.New(7))
+	b := MustGenerate(Gaussian, 50, 3, xrand.New(7))
+	for i := range a {
+		if !vec.Equal(a[i], b[i]) {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+}
+
+func TestUniformCubeInRange(t *testing.T) {
+	pts := MustGenerate(UniformCube, 500, 3, xrand.New(3))
+	for _, p := range pts {
+		for _, x := range p {
+			if x < 0 || x >= 1 {
+				t.Fatalf("coordinate %v outside [0,1)", x)
+			}
+		}
+	}
+}
+
+func TestAnnulusRadii(t *testing.T) {
+	pts := MustGenerate(Annulus, 500, 3, xrand.New(4))
+	for _, p := range pts {
+		r := vec.Norm(p)
+		if r < 0.98 || r > 1.02 {
+			t.Fatalf("annulus radius %v outside shell", r)
+		}
+	}
+}
+
+func TestJitteredGridSpread(t *testing.T) {
+	pts := MustGenerate(JitteredGrid, 1000, 2, xrand.New(5))
+	// Points should roughly cover the unit square: bounding box near [0,1]^2.
+	lo, hi := pts[0].Clone(), pts[0].Clone()
+	for _, p := range pts {
+		for j, x := range p {
+			lo[j] = math.Min(lo[j], x)
+			hi[j] = math.Max(hi[j], x)
+		}
+	}
+	for j := range lo {
+		if lo[j] > 0.1 || hi[j] < 0.9 {
+			t.Errorf("grid does not cover dimension %d: [%v, %v]", j, lo[j], hi[j])
+		}
+	}
+}
+
+func TestLineNoiseIsNearlyOneDimensional(t *testing.T) {
+	pts := MustGenerate(LineNoise, 300, 4, xrand.New(6))
+	for _, p := range pts {
+		for j := 1; j < 4; j++ {
+			if math.Abs(p[j]) > 0.1 {
+				t.Fatalf("transverse coordinate too large: %v", p[j])
+			}
+		}
+	}
+}
+
+func TestClusteredHasClusters(t *testing.T) {
+	// Nearest-neighbor distances in a clustered set should be far smaller
+	// than the overall extent.
+	pts := MustGenerate(Clustered, 400, 2, xrand.New(8))
+	minNN := math.Inf(1)
+	maxDist := 0.0
+	for i := 0; i < 50; i++ {
+		best := math.Inf(1)
+		for j := range pts {
+			if j == i {
+				continue
+			}
+			d := vec.Dist(pts[i], pts[j])
+			if d < best {
+				best = d
+			}
+			if d > maxDist {
+				maxDist = d
+			}
+		}
+		if best < minNN {
+			minNN = best
+		}
+	}
+	if minNN*20 > maxDist {
+		t.Errorf("clustering not evident: minNN=%v maxDist=%v", minNN, maxDist)
+	}
+}
+
+func TestHeavyTailHasOutliers(t *testing.T) {
+	pts := MustGenerate(HeavyTail, 2000, 2, xrand.New(9))
+	far := 0
+	for _, p := range pts {
+		if vec.Norm(p) > 10 {
+			far++
+		}
+	}
+	if far == 0 {
+		t.Error("heavy-tail produced no outliers beyond radius 10")
+	}
+	if far > len(pts)/2 {
+		t.Error("heavy-tail produced mostly outliers; bulk missing")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	a := vec.Of(1, 2)
+	pts := []vec.Vec{a, vec.Of(1, 2), vec.Of(3, 4), a.Clone()}
+	got := Dedup(pts)
+	if len(got) != 2 {
+		t.Fatalf("Dedup kept %d points, want 2", len(got))
+	}
+	if !vec.Equal(got[0], vec.Of(1, 2)) || !vec.Equal(got[1], vec.Of(3, 4)) {
+		t.Errorf("Dedup changed order or content: %v", got)
+	}
+	if len(Dedup(nil)) != 0 {
+		t.Error("Dedup(nil) not empty")
+	}
+	// Negative zero and zero are distinct bit patterns; ensure they do not
+	// collide silently in a way that loses points.
+	nz := Dedup([]vec.Vec{vec.Of(0.0), vec.Of(math.Copysign(0, -1))})
+	if len(nz) != 2 {
+		t.Log("note: -0.0 and 0.0 dedup to one point (bitwise distinct but equal); acceptable")
+	}
+}
+
+func TestGenerateZeroPoints(t *testing.T) {
+	pts, err := Generate(UniformBall, 0, 3, xrand.New(1))
+	if err != nil || len(pts) != 0 {
+		t.Errorf("Generate(0) = %v, %v", pts, err)
+	}
+}

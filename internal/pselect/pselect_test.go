@@ -1,0 +1,181 @@
+package pselect
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sepdc/internal/vm"
+	"sepdc/internal/xrand"
+)
+
+func refKth(xs []float64, k int) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[k-1]
+}
+
+func randomInput(r *rand.Rand, n int, dupes bool) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		if dupes {
+			xs[i] = float64(r.IntN(n/4 + 1)) // many ties
+		} else {
+			xs[i] = r.Float64()
+		}
+	}
+	return xs
+}
+
+func TestQuickSelectMatchesSort(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	g := xrand.New(2)
+	for trial := 0; trial < 300; trial++ {
+		n := r.IntN(200) + 1
+		xs := randomInput(r, n, trial%2 == 0)
+		k := r.IntN(n) + 1
+		got := QuickSelect(xs, k, g, nil)
+		if want := refKth(xs, k); got != want {
+			t.Fatalf("trial %d: QuickSelect(n=%d,k=%d) = %v, want %v", trial, n, k, got, want)
+		}
+	}
+}
+
+func TestSampleSelectMatchesSort(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 3))
+	g := xrand.New(4)
+	for trial := 0; trial < 200; trial++ {
+		n := r.IntN(5000) + 1
+		xs := randomInput(r, n, trial%3 == 0)
+		k := r.IntN(n) + 1
+		got := SampleSelect(xs, k, g, nil)
+		if want := refKth(xs, k); got != want {
+			t.Fatalf("trial %d: SampleSelect(n=%d,k=%d) = %v, want %v", trial, n, k, got, want)
+		}
+	}
+}
+
+func TestSelectDoesNotMutateInput(t *testing.T) {
+	g := xrand.New(5)
+	xs := []float64{5, 3, 1, 4, 2}
+	orig := append([]float64(nil), xs...)
+	QuickSelect(xs, 3, g, nil)
+	SampleSelect(xs, 3, g, nil)
+	SmallestK(xs, 2, g, nil)
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatal("selection mutated its input")
+		}
+	}
+}
+
+func TestSelectPanicsOnBadRank(t *testing.T) {
+	g := xrand.New(6)
+	for _, k := range []int{0, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d accepted", k)
+				}
+			}()
+			QuickSelect([]float64{1, 2, 3}, k, g, nil)
+		}()
+	}
+}
+
+func TestSmallestK(t *testing.T) {
+	g := xrand.New(7)
+	xs := []float64{9, 1, 8, 2, 7, 3, 2}
+	got := SmallestK(xs, 3, g, nil)
+	want := []float64{1, 2, 2}
+	if len(got) != 3 {
+		t.Fatalf("SmallestK = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SmallestK = %v, want %v", got, want)
+		}
+	}
+	if len(SmallestK(xs, 0, g, nil)) != 0 {
+		t.Error("k=0 not empty")
+	}
+	if got := SmallestK(xs, 100, g, nil); len(got) != len(xs) {
+		t.Error("k>n should return all, sorted")
+	}
+}
+
+func TestSampleSelectConstantRounds(t *testing.T) {
+	// The heart of the claim: the step count must not grow with n (it is
+	// O(1) rounds w.h.p., each O(1) steps). Compare simulated steps at two
+	// sizes an order of magnitude apart.
+	g := xrand.New(8)
+	r := rand.New(rand.NewPCG(9, 9))
+	steps := func(n int) int64 {
+		var total int64
+		const reps = 20
+		for i := 0; i < reps; i++ {
+			xs := randomInput(r, n, false)
+			ctx := vm.Sequential().NewCtx()
+			SampleSelect(xs, n/2, g, ctx)
+			total += ctx.Cost().Steps
+		}
+		return total / reps
+	}
+	small, large := steps(2000), steps(200000)
+	if large > small*3 {
+		t.Errorf("steps grew from %d to %d over 100x n; not O(1) rounds", small, large)
+	}
+}
+
+func TestQuickSelectLogSteps(t *testing.T) {
+	g := xrand.New(10)
+	r := rand.New(rand.NewPCG(11, 11))
+	xs := randomInput(r, 1<<16, false)
+	ctx := vm.Sequential().NewCtx()
+	QuickSelect(xs, len(xs)/3, g, ctx)
+	steps := ctx.Cost().Steps
+	// Expected ~4·log2(n) ≈ 64 steps; allow wide slack for variance.
+	if steps > 400 {
+		t.Errorf("QuickSelect used %d steps on n=2^16", steps)
+	}
+}
+
+// Property: both algorithms agree with each other on arbitrary inputs.
+func TestPropertyAlgorithmsAgree(t *testing.T) {
+	g := xrand.New(12)
+	f := func(raw []int16, kRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		k := int(kRaw)%len(xs) + 1
+		return QuickSelect(xs, k, g, nil) == SampleSelect(xs, k, g, nil)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkQuickSelect(b *testing.B) {
+	r := rand.New(rand.NewPCG(13, 13))
+	xs := randomInput(r, 1<<17, false)
+	g := xrand.New(14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		QuickSelect(xs, len(xs)/2, g, nil)
+	}
+}
+
+func BenchmarkSampleSelect(b *testing.B) {
+	r := rand.New(rand.NewPCG(15, 15))
+	xs := randomInput(r, 1<<17, false)
+	g := xrand.New(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SampleSelect(xs, len(xs)/2, g, nil)
+	}
+}

@@ -1,0 +1,85 @@
+package scan
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+func benchInts(n int) []int {
+	r := rand.New(rand.NewPCG(1, uint64(n)))
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = r.IntN(1000)
+	}
+	return xs
+}
+
+func BenchmarkExclusiveScan(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 16, 1 << 20} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			xs := benchInts(n)
+			b.SetBytes(int64(n * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Exclusive(xs, addInt, 0)
+			}
+		})
+	}
+}
+
+func BenchmarkExclusiveScanParallel(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 20} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			xs := benchInts(n)
+			b.SetBytes(int64(n * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ExclusiveParallel(xs, addInt, 0)
+			}
+		})
+	}
+}
+
+func BenchmarkSegmentedScan(b *testing.B) {
+	n := 1 << 18
+	xs := benchInts(n)
+	flags := make([]bool, n)
+	for i := 0; i < n; i += 37 {
+		flags[i] = true
+	}
+	b.SetBytes(int64(n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SegmentedExclusive(xs, flags, addInt, 0)
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	n := 1 << 18
+	xs := benchInts(n)
+	key := make([]bool, n)
+	for i := range key {
+		key[i] = xs[i]%2 == 0
+	}
+	b.SetBytes(int64(n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Split(xs, key)
+	}
+}
+
+func BenchmarkRadixSortUint32(b *testing.B) {
+	n := 1 << 16
+	r := rand.New(rand.NewPCG(2, 2))
+	keys := make([]uint32, n)
+	vals := make([]int, n)
+	for i := range keys {
+		keys[i] = r.Uint32()
+		vals[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RadixSortUint32(keys, vals)
+	}
+}

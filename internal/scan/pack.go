@@ -1,0 +1,141 @@
+package scan
+
+// Pack and split are the permutation primitives of the vector model: Pack
+// compresses the elements selected by a flags vector into a dense prefix
+// (one +‑scan plus one permute), and Split stably routes elements to the
+// bottom or top of the vector by a boolean key — the building block of the
+// radix sort and of distributing subproblems to the two sides of a
+// separator.
+
+// Pack returns the elements of xs whose flag is set, in order.
+func Pack[T any](xs []T, flags []bool) []T {
+	if len(flags) != len(xs) {
+		panic("scan: flags length mismatch")
+	}
+	n := 0
+	for _, f := range flags {
+		if f {
+			n++
+		}
+	}
+	out := make([]T, 0, n)
+	for i, x := range xs {
+		if flags[i] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// PackIndex returns the indices whose flag is set, in order.
+func PackIndex(flags []bool) []int {
+	var out []int
+	for i, f := range flags {
+		if f {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Split stably partitions xs by key: elements with key[i] false come first
+// (in order), then elements with key[i] true (in order). This is Blelloch's
+// split primitive, realized with two +‑scans.
+func Split[T any](xs []T, key []bool) []T {
+	if len(key) != len(xs) {
+		panic("scan: key length mismatch")
+	}
+	out := make([]T, len(xs))
+	pos := 0
+	for i, x := range xs {
+		if !key[i] {
+			out[pos] = x
+			pos++
+		}
+	}
+	for i, x := range xs {
+		if key[i] {
+			out[pos] = x
+			pos++
+		}
+	}
+	return out
+}
+
+// SplitIndex returns the permutation realized by Split: perm[j] is the
+// original index of the element at output position j.
+func SplitIndex(key []bool) []int {
+	out := make([]int, len(key))
+	pos := 0
+	for i, k := range key {
+		if !k {
+			out[pos] = i
+			pos++
+		}
+	}
+	for i, k := range key {
+		if k {
+			out[pos] = i
+			pos++
+		}
+	}
+	return out
+}
+
+// RadixSortUint32 sorts keys (carrying values along) by repeated Split on
+// each bit, least significant first — the split-radix sort of the vector
+// model. It runs in bits · O(n) work and bits time steps on the simulated
+// machine.
+func RadixSortUint32[T any](keys []uint32, vals []T) ([]uint32, []T) {
+	if len(vals) != len(keys) {
+		panic("scan: values length mismatch")
+	}
+	k := append([]uint32(nil), keys...)
+	v := append([]T(nil), vals...)
+	bit := make([]bool, len(k))
+	for b := 0; b < 32; b++ {
+		any := false
+		for i, x := range k {
+			bit[i] = x&(1<<uint(b)) != 0
+			any = any || bit[i]
+		}
+		if !any {
+			continue
+		}
+		k = Split(k, bit)
+		v = Split(v, bit)
+		// Recompute flags against the new order on the next iteration.
+	}
+	return k, v
+}
+
+// Gather returns out[i] = xs[idx[i]].
+func Gather[T any](xs []T, idx []int) []T {
+	out := make([]T, len(idx))
+	for i, j := range idx {
+		out[i] = xs[j]
+	}
+	return out
+}
+
+// Scatter writes xs[i] into out[idx[i]] over a fresh vector of length n.
+// Duplicate destinations panic: the vector model's permute requires a
+// permutation, and a silent overwrite would hide algorithmic bugs.
+func Scatter[T any](xs []T, idx []int, n int) []T {
+	if len(idx) != len(xs) {
+		panic("scan: index length mismatch")
+	}
+	out := make([]T, n)
+	seen := make([]bool, n)
+	for i, j := range idx {
+		if j < 0 || j >= n {
+			panic("scan: scatter index out of range")
+		}
+		if seen[j] {
+			panic("scan: scatter collision")
+		}
+		seen[j] = true
+		out[j] = xs[i]
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package scan
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPack(t *testing.T) {
+	xs := []int{10, 20, 30, 40}
+	flags := []bool{true, false, false, true}
+	got := Pack(xs, flags)
+	if len(got) != 2 || got[0] != 10 || got[1] != 40 {
+		t.Errorf("Pack = %v", got)
+	}
+	if len(Pack[int](nil, nil)) != 0 {
+		t.Error("Pack(nil) not empty")
+	}
+}
+
+func TestPackIndex(t *testing.T) {
+	got := PackIndex([]bool{false, true, true, false, true})
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("PackIndex = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PackIndex = %v", got)
+		}
+	}
+}
+
+func TestSplitStable(t *testing.T) {
+	xs := []int{1, 2, 3, 4, 5, 6}
+	key := []bool{true, false, true, false, true, false}
+	got := Split(xs, key)
+	want := []int{2, 4, 6, 1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Split = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSplitIndexIsPermutation(t *testing.T) {
+	key := []bool{true, true, false, true, false}
+	perm := SplitIndex(key)
+	seen := make([]bool, len(key))
+	for _, p := range perm {
+		if seen[p] {
+			t.Fatal("SplitIndex repeated an index")
+		}
+		seen[p] = true
+	}
+	// False keys first, in original order.
+	if perm[0] != 2 || perm[1] != 4 {
+		t.Errorf("SplitIndex = %v", perm)
+	}
+}
+
+func TestRadixSortUint32(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 5))
+	keys := make([]uint32, 500)
+	vals := make([]int, 500)
+	for i := range keys {
+		keys[i] = r.Uint32()
+		vals[i] = i
+	}
+	sk, sv := RadixSortUint32(keys, vals)
+	for i := 1; i < len(sk); i++ {
+		if sk[i-1] > sk[i] {
+			t.Fatalf("not sorted at %d: %d > %d", i, sk[i-1], sk[i])
+		}
+	}
+	// Values must follow their keys.
+	for i := range sk {
+		if keys[sv[i]] != sk[i] {
+			t.Fatalf("value %d detached from key", i)
+		}
+	}
+	// Original arrays untouched.
+	if vals[0] != 0 {
+		t.Error("RadixSortUint32 mutated input")
+	}
+}
+
+func TestRadixSortStability(t *testing.T) {
+	keys := []uint32{2, 1, 2, 1}
+	vals := []string{"a", "b", "c", "d"}
+	_, sv := RadixSortUint32(keys, vals)
+	want := []string{"b", "d", "a", "c"}
+	for i := range want {
+		if sv[i] != want[i] {
+			t.Fatalf("stability broken: %v", sv)
+		}
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	xs := []string{"a", "b", "c"}
+	if got := Gather(xs, []int{2, 0}); got[0] != "c" || got[1] != "a" {
+		t.Errorf("Gather = %v", got)
+	}
+	out := Scatter([]string{"x", "y"}, []int{1, 0}, 2)
+	if out[0] != "y" || out[1] != "x" {
+		t.Errorf("Scatter = %v", out)
+	}
+}
+
+func TestScatterPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"collision":    func() { Scatter([]int{1, 2}, []int{0, 0}, 2) },
+		"out of range": func() { Scatter([]int{1}, []int{5}, 2) },
+		"length":       func() { Scatter([]int{1}, []int{0, 1}, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: radix sort matches sort.Slice.
+func TestPropertyRadixMatchesSort(t *testing.T) {
+	f := func(raw []uint32) bool {
+		vals := make([]int, len(raw))
+		for i := range vals {
+			vals[i] = i
+		}
+		sk, _ := RadixSortUint32(raw, vals)
+		ref := append([]uint32(nil), raw...)
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		for i := range ref {
+			if sk[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Split preserves multiset.
+func TestPropertySplitPreservesElements(t *testing.T) {
+	f := func(raw []int16, keyBits []bool) bool {
+		n := len(raw)
+		if len(keyBits) < n {
+			n = len(keyBits)
+		}
+		xs := make([]int, n)
+		for i := 0; i < n; i++ {
+			xs[i] = int(raw[i])
+		}
+		out := Split(xs, keyBits[:n])
+		a := append([]int(nil), xs...)
+		b := append([]int(nil), out...)
+		sort.Ints(a)
+		sort.Ints(b)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+package scan
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func addInt(a, b int) int { return a + b }
+
+func TestExclusiveBasic(t *testing.T) {
+	got := Exclusive([]int{1, 2, 3, 4}, addInt, 0)
+	want := []int{0, 1, 3, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Exclusive = %v, want %v", got, want)
+		}
+	}
+	if len(Exclusive(nil, addInt, 0)) != 0 {
+		t.Error("Exclusive(nil) should be empty")
+	}
+}
+
+func TestInclusiveBasic(t *testing.T) {
+	got := Inclusive([]int{1, 2, 3, 4}, addInt, 0)
+	want := []int{1, 3, 6, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Inclusive = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	if got := Reduce([]int{5, 7, 9}, addInt, 0); got != 21 {
+		t.Errorf("Reduce = %d", got)
+	}
+	if got := Reduce(nil, addInt, 42); got != 42 {
+		t.Errorf("Reduce(nil) = %d, want identity", got)
+	}
+}
+
+func TestExclusiveParallelMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	for _, n := range []int{0, 1, 100, parallelThreshold - 1, parallelThreshold, parallelThreshold*3 + 17} {
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = r.IntN(1000) - 500
+		}
+		seq := Exclusive(xs, addInt, 0)
+		par := ExclusiveParallel(xs, addInt, 0)
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Fatalf("n=%d: parallel scan diverges at %d: %d vs %d", n, i, par[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestPlusScans(t *testing.T) {
+	ints := PlusScanInt([]int{2, 4, 6})
+	if ints[0] != 0 || ints[1] != 2 || ints[2] != 6 {
+		t.Errorf("PlusScanInt = %v", ints)
+	}
+	fs := PlusScanFloat64([]float64{0.5, 0.25})
+	if fs[0] != 0 || fs[1] != 0.5 {
+		t.Errorf("PlusScanFloat64 = %v", fs)
+	}
+}
+
+func TestMinMaxScans(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	maxs := MaxScanFloat64(xs)
+	want := []float64{3, 3, 4, 4, 5}
+	for i := range want {
+		if maxs[i] != want[i] {
+			t.Fatalf("MaxScan = %v", maxs)
+		}
+	}
+	mins := MinScanFloat64(xs)
+	wantMin := []float64{3, 1, 1, 1, 1}
+	for i := range wantMin {
+		if mins[i] != wantMin[i] {
+			t.Fatalf("MinScan = %v", mins)
+		}
+	}
+	if got := MaxScanFloat64(nil); len(got) != 0 {
+		t.Error("MaxScan(nil) not empty")
+	}
+}
+
+func TestAndScanBool(t *testing.T) {
+	got := AndScanBool([]bool{true, true, false, true})
+	want := []bool{true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AndScanBool = %v", got)
+		}
+	}
+}
+
+func TestCopyScan(t *testing.T) {
+	got := CopyScan([]string{"a", "b", "c"})
+	for _, s := range got {
+		if s != "a" {
+			t.Fatalf("CopyScan = %v", got)
+		}
+	}
+	if len(CopyScan[int](nil)) != 0 {
+		t.Error("CopyScan(nil) not empty")
+	}
+}
+
+// Property: exclusive scan shifted by one equals inclusive scan.
+func TestPropertyExclusiveInclusiveShift(t *testing.T) {
+	f := func(xs []int16) bool {
+		ints := make([]int, len(xs))
+		for i, x := range xs {
+			ints[i] = int(x)
+		}
+		ex := Exclusive(ints, addInt, 0)
+		in := Inclusive(ints, addInt, 0)
+		for i := range ints {
+			if ex[i]+ints[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: last inclusive element equals Reduce.
+func TestPropertyInclusiveLastIsReduce(t *testing.T) {
+	f := func(xs []int16) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		ints := make([]int, len(xs))
+		for i, x := range xs {
+			ints[i] = int(x)
+		}
+		in := Inclusive(ints, addInt, 0)
+		return in[len(in)-1] == Reduce(ints, addInt, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxScanHandlesNegatives(t *testing.T) {
+	got := MaxScanFloat64([]float64{-5, -3, -7})
+	if got[0] != -5 || got[1] != -3 || got[2] != -3 {
+		t.Errorf("MaxScan negatives = %v", got)
+	}
+	if math.IsInf(got[0], -1) {
+		t.Error("identity leaked into output")
+	}
+}

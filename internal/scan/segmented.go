@@ -1,0 +1,108 @@
+package scan
+
+// Segmented scans: the vector is partitioned into segments by a boolean
+// flags vector (flags[i] true ⇒ position i starts a new segment). The scan
+// restarts at each segment head. Segmented scans are the key primitive that
+// lets a flat data-parallel machine run all nodes of a recursion level
+// simultaneously — exactly how the paper's divide and conquer executes all
+// subproblems of one level in O(1) SCAN steps.
+
+// SegmentedExclusive computes an exclusive op-scan within each segment.
+func SegmentedExclusive[T any](xs []T, flags []bool, op func(T, T) T, id T) []T {
+	if len(flags) != len(xs) {
+		panic("scan: flags length mismatch")
+	}
+	out := make([]T, len(xs))
+	acc := id
+	for i, x := range xs {
+		if flags[i] {
+			acc = id
+		}
+		out[i] = acc
+		acc = op(acc, x)
+	}
+	return out
+}
+
+// SegmentedInclusive computes an inclusive op-scan within each segment.
+func SegmentedInclusive[T any](xs []T, flags []bool, op func(T, T) T, id T) []T {
+	if len(flags) != len(xs) {
+		panic("scan: flags length mismatch")
+	}
+	out := make([]T, len(xs))
+	acc := id
+	for i, x := range xs {
+		if flags[i] {
+			acc = id
+		}
+		acc = op(acc, x)
+		out[i] = acc
+	}
+	return out
+}
+
+// SegmentedCopy distributes each segment's first element across the segment
+// (segmented copy-scan).
+func SegmentedCopy[T any](xs []T, flags []bool) []T {
+	if len(flags) != len(xs) {
+		panic("scan: flags length mismatch")
+	}
+	out := make([]T, len(xs))
+	var cur T
+	for i, x := range xs {
+		if i == 0 || flags[i] {
+			cur = x
+		}
+		out[i] = cur
+	}
+	return out
+}
+
+// SegmentHeads converts segment lengths into a flags vector. Zero-length
+// segments are skipped (they occupy no positions).
+func SegmentHeads(lengths []int, total int) []bool {
+	flags := make([]bool, total)
+	pos := 0
+	for _, l := range lengths {
+		if l < 0 {
+			panic("scan: negative segment length")
+		}
+		if l == 0 {
+			continue
+		}
+		if pos >= total {
+			panic("scan: segment lengths exceed total")
+		}
+		flags[pos] = true
+		pos += l
+	}
+	if pos != total {
+		panic("scan: segment lengths do not cover total")
+	}
+	return flags
+}
+
+// SegmentedReduce reduces each segment to a single value, returning one
+// entry per (non-empty) segment in order.
+func SegmentedReduce[T any](xs []T, flags []bool, op func(T, T) T, id T) []T {
+	if len(flags) != len(xs) {
+		panic("scan: flags length mismatch")
+	}
+	var out []T
+	acc := id
+	started := false
+	for i, x := range xs {
+		if flags[i] && started {
+			out = append(out, acc)
+			acc = id
+		}
+		if flags[i] {
+			started = true
+		}
+		acc = op(acc, x)
+	}
+	if started {
+		out = append(out, acc)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package scan
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentedExclusive(t *testing.T) {
+	xs := []int{1, 2, 3, 4, 5}
+	flags := []bool{true, false, true, false, false}
+	got := SegmentedExclusive(xs, flags, addInt, 0)
+	want := []int{0, 1, 0, 3, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SegmentedExclusive = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSegmentedInclusive(t *testing.T) {
+	xs := []int{1, 2, 3, 4, 5}
+	flags := []bool{true, false, true, false, false}
+	got := SegmentedInclusive(xs, flags, addInt, 0)
+	want := []int{1, 3, 3, 7, 12}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SegmentedInclusive = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSegmentedCopy(t *testing.T) {
+	xs := []string{"a", "b", "c", "d"}
+	flags := []bool{false, false, true, false} // first segment starts implicitly
+	got := SegmentedCopy(xs, flags)
+	want := []string{"a", "a", "c", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SegmentedCopy = %v", got)
+		}
+	}
+}
+
+func TestSegmentedReduce(t *testing.T) {
+	xs := []int{1, 2, 3, 4, 5, 6}
+	flags := []bool{true, false, true, true, false, false}
+	got := SegmentedReduce(xs, flags, addInt, 0)
+	want := []int{3, 3, 15}
+	if len(got) != len(want) {
+		t.Fatalf("SegmentedReduce = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SegmentedReduce = %v, want %v", got, want)
+		}
+	}
+	if len(SegmentedReduce(nil, nil, addInt, 0)) != 0 {
+		t.Error("SegmentedReduce(nil) not empty")
+	}
+}
+
+func TestSegmentHeads(t *testing.T) {
+	flags := SegmentHeads([]int{2, 0, 3}, 5)
+	want := []bool{true, false, true, false, false}
+	for i := range want {
+		if flags[i] != want[i] {
+			t.Fatalf("SegmentHeads = %v", flags)
+		}
+	}
+}
+
+func TestSegmentHeadsPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"negative": func() { SegmentHeads([]int{-1}, 0) },
+		"overflow": func() { SegmentHeads([]int{3, 3}, 5) },
+		"shortfall": func() {
+			SegmentHeads([]int{1}, 5)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSegmentedMismatchedFlagsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched flags")
+		}
+	}()
+	SegmentedExclusive([]int{1, 2}, []bool{true}, addInt, 0)
+}
+
+// Property: a segmented scan over a single segment equals the plain scan.
+func TestPropertySingleSegmentEqualsPlain(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]int, len(raw))
+		for i, x := range raw {
+			xs[i] = int(x)
+		}
+		flags := make([]bool, len(xs))
+		flags[0] = true
+		seg := SegmentedExclusive(xs, flags, addInt, 0)
+		plain := Exclusive(xs, addInt, 0)
+		for i := range xs {
+			if seg[i] != plain[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: concatenating per-segment plain scans equals the segmented scan.
+func TestPropertySegmentedIsPerSegmentScan(t *testing.T) {
+	f := func(raw []int16, lens []uint8) bool {
+		xs := make([]int, len(raw))
+		for i, x := range raw {
+			xs[i] = int(x)
+		}
+		// Build segment lengths covering len(xs).
+		var lengths []int
+		rem := len(xs)
+		for _, l := range lens {
+			if rem == 0 {
+				break
+			}
+			take := int(l)%rem + 1
+			lengths = append(lengths, take)
+			rem -= take
+		}
+		if rem > 0 {
+			lengths = append(lengths, rem)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		flags := SegmentHeads(lengths, len(xs))
+		seg := SegmentedInclusive(xs, flags, addInt, 0)
+		pos := 0
+		for _, l := range lengths {
+			plain := Inclusive(xs[pos:pos+l], addInt, 0)
+			for i := range plain {
+				if seg[pos+i] != plain[i] {
+					return false
+				}
+			}
+			pos += l
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,331 @@
+// Package separator implements the Miller–Teng–Thurston–Vavasis sphere
+// separator algorithm (the paper's "Unit Time Separator Algorithm") and the
+// median-hyperplane separator of the Bentley / Cole–Goodrich baseline.
+//
+// The MTTV pipeline, run once per candidate:
+//
+//  1. Stereographically lift the points of R^d onto the unit sphere
+//     S^d ⊂ R^{d+1}.
+//  2. Compute an approximate centerpoint of a constant-size sample of the
+//     lifted points (iterated Radon, package centerpoint).
+//  3. Conformally map the sphere so the centerpoint moves to the origin:
+//     a Householder rotation aligning the centerpoint with the projection
+//     axis followed by a stereographic dilation.
+//  4. Pick a uniformly random great circle (a plane through the origin).
+//  5. Pull the circle back through the conformal map and project it to
+//     R^d, where it becomes a sphere (or, degenerately, a hyperplane).
+//
+// Each candidate costs O(1) parallel steps on the vector model: the lift,
+// the split test, and the conformal transforms are single elementwise
+// passes, and the centerpoint works on a constant-size sample. A candidate
+// δ-splits the points with constant probability; FindGood retries until
+// one does, and the number of trials is the quantity the paper's
+// Bernoulli/punting analysis charges for.
+package separator
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sepdc/internal/centerpoint"
+	"sepdc/internal/geom"
+	"sepdc/internal/vec"
+	"sepdc/internal/xrand"
+)
+
+// Options tunes the separator search.
+type Options struct {
+	// Delta is the allowed splitting ratio: a candidate is good when both
+	// sides hold at most Delta·n points. Zero selects the theorem's
+	// (d+1)/(d+2)+ε with a small ε, floored at 0.8 so small inputs are not
+	// rejected spuriously.
+	Delta float64
+	// MaxTrials bounds the retry loop of FindGood. Zero selects 64. If no
+	// good sphere is found, FindGood falls back to a median hyperplane,
+	// which always satisfies the split bound (but may cross many balls —
+	// the event the paper's punting machinery absorbs).
+	MaxTrials int
+	// SampleSize is the centerpoint sample size (0 = package default).
+	SampleSize int
+	// Centroid replaces the iterated-Radon centerpoint with the sample
+	// centroid. Cheaper and usually adequate on benign inputs; exposed for
+	// the ablation experiment.
+	Centroid bool
+}
+
+func (o *Options) delta(d int) float64 {
+	if o != nil && o.Delta > 0 {
+		return o.Delta
+	}
+	delta := float64(d+1)/float64(d+2) + 0.05
+	if delta < 0.8 {
+		delta = 0.8
+	}
+	if delta > 0.95 {
+		delta = 0.95
+	}
+	return delta
+}
+
+// maxTrials returns the retry budget for an input of n points. Small
+// subsets get a smaller budget: with few points the split-ratio variance
+// is high and extra candidates are poorly spent — the hyperplane fallback
+// (whose cost the punting analysis absorbs) is the better exit.
+func (o *Options) maxTrials(n int) int {
+	if o != nil && o.MaxTrials > 0 {
+		return o.MaxTrials
+	}
+	if n < 256 {
+		return 16
+	}
+	return 64
+}
+
+// Candidate runs one trial of the Unit Time Separator Algorithm and
+// returns the produced separator without judging its quality.
+func Candidate(pts []vec.Vec, g *xrand.RNG, opts *Options) (geom.Separator, error) {
+	if len(pts) == 0 {
+		return nil, errors.New("separator: no points")
+	}
+	d := len(pts[0])
+
+	// Step 0: translate the centroid to the origin and rescale to unit RMS
+	// radius before lifting. Without this, a subset occupying a tiny region
+	// (as deep divide-and-conquer subproblems do) lifts to a tiny spherical
+	// cap, its centerpoint hugs the sphere surface, and the conformal map
+	// degenerates — the success probability of a trial would collapse with
+	// depth. The transform is undone on the resulting separator, so callers
+	// see original coordinates.
+	centroid := vec.Centroid(pts)
+	var rms float64
+	for _, p := range pts {
+		rms += vec.Dist2(p, centroid)
+	}
+	rms = math.Sqrt(rms / float64(len(pts)))
+	if rms < 1e-300 {
+		return nil, errors.New("separator: all points coincide")
+	}
+	normalize := func(p vec.Vec) vec.Vec {
+		q := vec.Sub(p, centroid)
+		return vec.ScaleTo(q, 1/rms, q)
+	}
+
+	// Step 1–2: centerpoint of a sample of lifted points.
+	cpOpts := &centerpoint.Options{}
+	if opts != nil {
+		cpOpts.SampleSize = opts.SampleSize
+	}
+	sampleN := cpOpts.SampleSize
+	if sampleN <= 0 {
+		sampleN = 256
+	}
+	if sampleN > len(pts) {
+		sampleN = len(pts)
+	}
+	lifted := make([]vec.Vec, sampleN)
+	if sampleN == len(pts) {
+		for i, p := range pts {
+			lifted[i] = geom.Lift(normalize(p))
+		}
+	} else {
+		for i := range lifted {
+			lifted[i] = geom.Lift(normalize(pts[g.IntN(len(pts))]))
+		}
+	}
+	var cp vec.Vec
+	if opts != nil && opts.Centroid {
+		cp = vec.Centroid(lifted)
+	} else {
+		cp = centerpoint.Approx(lifted, g.Split(), cpOpts)
+	}
+
+	// Step 3: conformal map sending cp to the origin. Clamp the centerpoint
+	// radius away from the sphere so the dilation stays well conditioned.
+	r := vec.Norm(cp)
+	const maxR = 0.999
+	if r > maxR {
+		cp = vec.Scale(maxR/r, cp)
+		r = maxR
+	}
+	axisLast := vec.Basis(d+1, d)
+	var rot vec.Householder
+	if r < 1e-9 {
+		rot = vec.NewHouseholder(axisLast, axisLast) // identity
+		r = 0
+	} else {
+		rot = vec.NewHouseholder(vec.Scale(1/r, cp), axisLast)
+	}
+	dil, err := geom.NewDilationForHeight(r)
+	if err != nil {
+		return nil, fmt.Errorf("separator: dilation: %w", err)
+	}
+
+	// Step 4: uniformly random great circle through the origin.
+	gc := geom.PlaneSection{Normal: vec.Vec(g.UnitVector(d + 1)), Offset: 0}
+
+	// Step 5: pull back and project.
+	pulled, err := dil.PullBackSection(gc)
+	if err != nil {
+		return nil, fmt.Errorf("separator: pullback: %w", err)
+	}
+	section := geom.PullBackSectionReflect(rot, pulled)
+	sep, err := geom.SectionToSeparator(section)
+	if err != nil {
+		return nil, fmt.Errorf("separator: projection: %w", err)
+	}
+	// Undo the normalization: the separator was found in y = (x−t)/s
+	// coordinates; map it back to x-space.
+	switch s := sep.(type) {
+	case geom.Sphere:
+		center := vec.Scale(rms, s.Center)
+		vec.AddTo(center, center, centroid)
+		return geom.NewSphere(center, s.Radius*rms)
+	case geom.Halfspace:
+		return geom.Halfspace{Normal: s.Normal, Offset: s.Offset*rms + vec.Dot(s.Normal, centroid)}, nil
+	default:
+		return sep, nil
+	}
+}
+
+// SplitStats reports how a separator divides a point set.
+type SplitStats struct {
+	Interior int // points with Side <= 0 (on-surface points count inside)
+	Exterior int
+}
+
+// Ratio returns max(interior, exterior)/total, the splitting ratio the
+// theorem bounds by (d+1)/(d+2)+ε. A ratio of 1 means no split at all.
+func (s SplitStats) Ratio() float64 {
+	total := s.Interior + s.Exterior
+	if total == 0 {
+		return 1
+	}
+	m := s.Interior
+	if s.Exterior > m {
+		m = s.Exterior
+	}
+	return float64(m) / float64(total)
+}
+
+// Evaluate classifies the points against sep.
+func Evaluate(sep geom.Separator, pts []vec.Vec) SplitStats {
+	var st SplitStats
+	for _, p := range pts {
+		if sep.Side(p) <= 0 {
+			st.Interior++
+		} else {
+			st.Exterior++
+		}
+	}
+	return st
+}
+
+// Result is the outcome of FindGood.
+type Result struct {
+	Sep    geom.Separator
+	Stats  SplitStats
+	Trials int  // candidates generated, the paper's "sequence of calls"
+	Punted bool // true when the retry budget ran out and a median hyperplane was used
+}
+
+// FindGood repeats the Unit Time Separator Algorithm until a candidate
+// δ-splits the points, mirroring step 2 of Parallel Neighborhood Querying:
+// "Iteratively apply Unit Time Sphere Separator Algorithm until finding a
+// good sphere separator S." If MaxTrials candidates all fail (probability
+// exponentially small in the budget), it falls back to the median
+// hyperplane, which splits perfectly by construction.
+func FindGood(pts []vec.Vec, g *xrand.RNG, opts *Options) (Result, error) {
+	if len(pts) == 0 {
+		return Result{}, errors.New("separator: no points")
+	}
+	d := len(pts[0])
+	delta := opts.delta(d)
+	budget := opts.maxTrials(len(pts))
+	var res Result
+	for trial := 1; trial <= budget; trial++ {
+		sep, err := Candidate(pts, g, opts)
+		if err != nil {
+			res.Trials = trial
+			continue // a degenerate candidate costs a trial, like a bad split
+		}
+		st := Evaluate(sep, pts)
+		res.Trials = trial
+		if st.Ratio() <= delta {
+			res.Sep, res.Stats = sep, st
+			return res, nil
+		}
+	}
+	sep, err := MedianHyperplane(pts)
+	if err != nil {
+		return res, err
+	}
+	res.Sep = sep
+	res.Stats = Evaluate(sep, pts)
+	res.Punted = true
+	return res, nil
+}
+
+// MedianHyperplane returns the axis-aligned hyperplane through the median
+// coordinate of the widest dimension — Bentley's splitting rule ("translate
+// a fixed hyperplane until the points are divided in half"). It is both the
+// baseline algorithm's separator and FindGood's deterministic fallback.
+func MedianHyperplane(pts []vec.Vec) (geom.Separator, error) {
+	if len(pts) == 0 {
+		return nil, errors.New("separator: no points")
+	}
+	d := len(pts[0])
+	b := geom.NewBounds(pts)
+	dim := b.WidestDim()
+	coords := make([]float64, len(pts))
+	for i, p := range pts {
+		coords[i] = p[dim]
+	}
+	sort.Float64s(coords)
+	if coords[0] == coords[len(coords)-1] {
+		// WidestDim has zero spread only when every dimension does: the
+		// points are all identical and no separator exists.
+		return nil, errors.New("separator: all points identical; no separator exists")
+	}
+	med := coords[(len(coords)-1)/2]
+	// Points with coordinate <= med land on the interior side. If the
+	// median equals the maximum (more than half the points share the top
+	// value), lower the plane to the largest smaller value so the exterior
+	// side is nonempty.
+	if med == coords[len(coords)-1] {
+		i := sort.SearchFloat64s(coords, med) // first occurrence of the top value
+		med = coords[i-1]
+	}
+	return geom.Halfspace{Normal: vec.Basis(d, dim), Offset: med}, nil
+}
+
+// FixedHyperplane returns the median hyperplane orthogonal to the given
+// fixed dimension — Bentley's original rule, which does not adapt to the
+// data's shape. When the points concentrate near a hyperplane of that very
+// orientation, every halving translate crosses Ω(n) of the k-NN balls; this
+// is the paper's motivating bad case for hyperplane divide and conquer and
+// the comparator of experiment E5.
+func FixedHyperplane(pts []vec.Vec, dim int) (geom.Separator, error) {
+	if len(pts) == 0 {
+		return nil, errors.New("separator: no points")
+	}
+	d := len(pts[0])
+	if dim < 0 || dim >= d {
+		return nil, fmt.Errorf("separator: dimension %d out of range for R^%d", dim, d)
+	}
+	coords := make([]float64, len(pts))
+	for i, p := range pts {
+		coords[i] = p[dim]
+	}
+	sort.Float64s(coords)
+	if coords[0] == coords[len(coords)-1] {
+		return nil, errors.New("separator: zero spread in requested dimension")
+	}
+	med := coords[(len(coords)-1)/2]
+	if med == coords[len(coords)-1] {
+		i := sort.SearchFloat64s(coords, med)
+		med = coords[i-1]
+	}
+	return geom.Halfspace{Normal: vec.Basis(d, dim), Offset: med}, nil
+}

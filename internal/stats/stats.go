@@ -1,0 +1,254 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: summaries, quantiles, least-squares fits on log-log data
+// (for extracting empirical scaling exponents), and plain-text table
+// rendering for the experiment reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N           int
+	Mean, Std   float64
+	Min, Max    float64
+	Median, P90 float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - s.Mean
+		s.Std += d * d
+	}
+	s.Std = math.Sqrt(s.Std / float64(len(xs)))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P90 = Quantile(sorted, 0.9)
+	return s
+}
+
+// Quantile returns the q-quantile of an ascending-sorted sample by linear
+// interpolation. NaN for an empty sample.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// MedianInt returns the median of an integer sample (0 for empty).
+func MedianInt(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]int(nil), xs...)
+	sort.Ints(s)
+	return s[len(s)/2]
+}
+
+// Fit is a least-squares line y = Slope·x + Intercept with goodness R².
+type Fit struct {
+	Slope, Intercept, R2 float64
+}
+
+// LinearFit fits a least-squares line through (x, y) pairs. It requires at
+// least two distinct x values; otherwise the zero Fit with NaN slope is
+// returned.
+func LinearFit(x, y []float64) Fit {
+	if len(x) != len(y) || len(x) < 2 {
+		return Fit{Slope: math.NaN(), Intercept: math.NaN(), R2: math.NaN()}
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-300 {
+		return Fit{Slope: math.NaN(), Intercept: math.NaN(), R2: math.NaN()}
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	// R² = 1 − SS_res/SS_tot.
+	ssTot := syy - sy*sy/n
+	ssRes := 0.0
+	for i := range x {
+		r := y[i] - (slope*x[i] + intercept)
+		ssRes += r * r
+	}
+	r2 := 1.0
+	if ssTot > 1e-300 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// PowerFit fits y = c·x^p by linear regression in log-log space and
+// returns the exponent p (the Fit's slope). Non-positive samples are
+// rejected with a NaN fit.
+func PowerFit(x, y []float64) Fit {
+	lx := make([]float64, 0, len(x))
+	ly := make([]float64, 0, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			return Fit{Slope: math.NaN(), Intercept: math.NaN(), R2: math.NaN()}
+		}
+		lx = append(lx, math.Log(x[i]))
+		ly = append(ly, math.Log(y[i]))
+	}
+	return LinearFit(lx, ly)
+}
+
+// Table is a plain-text experiment report.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = FormatFloat(v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case int64:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a free-form note printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// magnitudes with 4 significant digits.
+func FormatFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Render produces an aligned plain-text rendering.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteString("\n")
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				b.WriteString(fmt.Sprintf("%-*s", widths[i], cell))
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, note := range t.Notes {
+		b.WriteString("  note: ")
+		b.WriteString(note)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown (for
+// EXPERIMENTS.md).
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, note := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", note)
+	}
+	return b.String()
+}

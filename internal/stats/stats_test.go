@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("Std = %v", s.Std)
+	}
+	if (Summarize(nil) != Summary{}) {
+		t.Error("empty summary nonzero")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 10, 20, 30, 40}
+	if Quantile(sorted, 0) != 0 || Quantile(sorted, 1) != 40 {
+		t.Error("extremes wrong")
+	}
+	if got := Quantile(sorted, 0.5); got != 20 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile(sorted, 0.625); got != 25 {
+		t.Errorf("interpolated quantile = %v, want 25", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile not NaN")
+	}
+}
+
+func TestMedianInt(t *testing.T) {
+	if MedianInt([]int{5, 1, 3}) != 3 {
+		t.Error("odd median")
+	}
+	if got := MedianInt([]int{4, 1, 3, 2}); got != 3 {
+		t.Errorf("even median = %d (upper median expected)", got)
+	}
+	if MedianInt(nil) != 0 {
+		t.Error("empty median")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	f := LinearFit(x, y)
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-3) > 1e-12 {
+		t.Errorf("Fit = %+v", f)
+	}
+	if math.Abs(f.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v", f.R2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if f := LinearFit([]float64{1}, []float64{2}); !math.IsNaN(f.Slope) {
+		t.Error("single point accepted")
+	}
+	if f := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); !math.IsNaN(f.Slope) {
+		t.Error("vertical line accepted")
+	}
+	if f := LinearFit([]float64{1, 2}, []float64{3}); !math.IsNaN(f.Slope) {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestPowerFitRecoversExponent(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	for trial := 0; trial < 50; trial++ {
+		p := r.Float64()*3 - 1 // exponent in [-1, 2]
+		c := r.Float64()*5 + 0.1
+		var xs, ys []float64
+		for i := 1; i <= 20; i++ {
+			x := float64(i * i)
+			xs = append(xs, x)
+			ys = append(ys, c*math.Pow(x, p))
+		}
+		f := PowerFit(xs, ys)
+		if math.Abs(f.Slope-p) > 1e-9 {
+			t.Fatalf("exponent %v recovered as %v", p, f.Slope)
+		}
+	}
+}
+
+func TestPowerFitRejectsNonPositive(t *testing.T) {
+	if f := PowerFit([]float64{1, -2}, []float64{1, 2}); !math.IsNaN(f.Slope) {
+		t.Error("negative x accepted")
+	}
+	if f := PowerFit([]float64{1, 2}, []float64{0, 2}); !math.IsNaN(f.Slope) {
+		t.Error("zero y accepted")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "Demo", Header: []string{"n", "value"}}
+	tb.AddRow(10, 3.14159)
+	tb.AddRow(200, "text")
+	tb.AddNote("a note with %d", 42)
+	out := tb.Render()
+	for _, want := range []string{"Demo", "n", "value", "10", "3.142", "200", "text", "note: a note with 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q in:\n%s", want, out)
+		}
+	}
+	// Alignment: all data lines at least as wide as the header line.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("unexpected line count %d", len(lines))
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := &Table{Title: "M", Header: []string{"a", "b"}}
+	tb.AddRow(1, 2)
+	tb.AddNote("note")
+	md := tb.Markdown()
+	for _, want := range []string{"### M", "| a | b |", "| --- | --- |", "| 1 | 2 |", "*note*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q in:\n%s", want, md)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		3.14159: "3.142",
+		1e20:    "1e+20",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if FormatFloat(math.NaN()) != "NaN" {
+		t.Error("NaN formatting")
+	}
+}
+
+// Property: Summarize min <= median <= max and mean within [min, max].
+func TestPropertySummaryOrdering(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			xs[i] = float64(x)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.Median <= s.P90+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

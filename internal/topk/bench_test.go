@@ -1,0 +1,39 @@
+package topk
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	for _, k := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			r := rand.New(rand.NewPCG(1, uint64(k)))
+			ds := make([]float64, 4096)
+			for i := range ds {
+				ds[i] = r.Float64()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l := New(k)
+				for j, d := range ds {
+					l.Insert(j, d)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkInsertRejected(b *testing.B) {
+	// The hot case in the divide and conquer: a full list rejecting
+	// candidates that are worse than the current k-th.
+	l := New(4)
+	for i := 0; i < 4; i++ {
+		l.Insert(i, 0.1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert(99, 5.0)
+	}
+}

@@ -1,0 +1,50 @@
+package topk
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// FuzzInsertSequence feeds arbitrary byte-derived candidate streams and
+// checks the list against a sorted reference.
+func FuzzInsertSequence(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, uint8(2))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{255, 0, 255, 0, 128}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw uint8) {
+		k := int(kRaw)%10 + 1
+		l := New(k)
+		var all []Neighbor
+		for i, b := range data {
+			d2 := float64(b%32) * 0.25 // plenty of ties
+			l.Insert(i, d2)
+			all = append(all, Neighbor{Idx: i, Dist2: d2})
+		}
+		sort.Slice(all, func(i, j int) bool { return Less(all[i], all[j]) })
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := l.Items()
+		if len(got) != len(want) {
+			t.Fatalf("len %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("item %d: %v vs %v", i, got[i], want[i])
+			}
+		}
+		// Invariants regardless of input.
+		for i := 1; i < len(got); i++ {
+			if !Less(got[i-1], got[i]) {
+				t.Fatal("items not strictly ordered")
+			}
+		}
+		if r2, full := l.Radius2(); full {
+			if r2 != got[len(got)-1].Dist2 || math.IsNaN(r2) {
+				t.Fatal("Radius2 inconsistent")
+			}
+		}
+	})
+}

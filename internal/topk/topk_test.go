@@ -1,0 +1,184 @@
+package topk
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	for _, k := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", k)
+				}
+			}()
+			New(k)
+		}()
+	}
+}
+
+func TestInsertKeepsKBest(t *testing.T) {
+	l := New(3)
+	for i, d := range []float64{5, 1, 4, 2, 8, 3} {
+		l.Insert(i, d)
+	}
+	items := l.Items()
+	if len(items) != 3 {
+		t.Fatalf("len = %d", len(items))
+	}
+	wantD := []float64{1, 2, 3}
+	wantI := []int{1, 3, 5}
+	for i := range items {
+		if items[i].Dist2 != wantD[i] || items[i].Idx != wantI[i] {
+			t.Fatalf("Items = %v", items)
+		}
+	}
+}
+
+func TestInsertTieBreaksByIndex(t *testing.T) {
+	l := New(2)
+	l.Insert(7, 1.0)
+	l.Insert(3, 1.0)
+	l.Insert(5, 1.0)
+	items := l.Items()
+	if items[0].Idx != 3 || items[1].Idx != 5 {
+		t.Errorf("tie-break wrong: %v", items)
+	}
+}
+
+func TestWorstAndRadius(t *testing.T) {
+	l := New(2)
+	if _, ok := l.WorstDist2(); ok {
+		t.Error("empty list reported a worst distance")
+	}
+	if _, full := l.Radius2(); full {
+		t.Error("empty list reported full radius")
+	}
+	l.Insert(0, 4)
+	if d, full := l.Radius2(); full || d != 4 {
+		t.Errorf("partial Radius2 = %v, %v", d, full)
+	}
+	l.Insert(1, 9)
+	if d, ok := l.WorstDist2(); !ok || d != 9 {
+		t.Errorf("WorstDist2 = %v, %v", d, ok)
+	}
+	if d, full := l.Radius2(); !full || d != 9 {
+		t.Errorf("Radius2 = %v, %v", d, full)
+	}
+}
+
+func TestAccepts(t *testing.T) {
+	l := New(1)
+	if !l.Accepts(100, 5) {
+		t.Error("non-full list must accept anything")
+	}
+	l.Insert(5, 10)
+	if !l.Accepts(9, 99) {
+		t.Error("smaller distance rejected")
+	}
+	if l.Accepts(11, 0) {
+		t.Error("larger distance accepted")
+	}
+	if l.Accepts(10, 6) {
+		t.Error("equal distance, larger index accepted")
+	}
+	if !l.Accepts(10, 4) {
+		t.Error("equal distance, smaller index rejected")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	l := New(2)
+	l.Insert(0, 1)
+	c := l.Clone()
+	c.Insert(1, 0.5)
+	if l.Len() != 1 {
+		t.Error("Clone shares storage with original")
+	}
+	if !Equal(l, l.Clone()) {
+		t.Error("Clone not equal to original")
+	}
+	if Equal(l, c) {
+		t.Error("diverged clone still equal")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(2), New(2)
+	a.Insert(0, 5)
+	a.Insert(1, 7)
+	b.Insert(2, 1)
+	b.Insert(3, 6)
+	a.Merge(b)
+	items := a.Items()
+	if items[0].Idx != 2 || items[1].Idx != 0 {
+		t.Errorf("Merge = %v", items)
+	}
+}
+
+// Property: inserting any stream leaves exactly the k canonical-smallest.
+func TestPropertyMatchesSort(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	f := func(raw []uint16, kRaw uint8) bool {
+		k := int(kRaw)%8 + 1
+		l := New(k)
+		var all []Neighbor
+		for i, x := range raw {
+			d2 := float64(x % 50) // force plenty of ties
+			l.Insert(i, d2)
+			all = append(all, Neighbor{Idx: i, Dist2: d2})
+		}
+		sort.Slice(all, func(i, j int) bool { return Less(all[i], all[j]) })
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := l.Items()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		_ = r
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merge of two lists equals a list fed both streams.
+func TestPropertyMergeEquivalent(t *testing.T) {
+	f := func(xs, ys []uint16, kRaw uint8) bool {
+		k := int(kRaw)%6 + 1
+		a, b, ref := New(k), New(k), New(k)
+		for i, x := range xs {
+			a.Insert(i, float64(x))
+			ref.Insert(i, float64(x))
+		}
+		off := len(xs)
+		for i, y := range ys {
+			b.Insert(off+i, float64(y))
+			ref.Insert(off+i, float64(y))
+		}
+		a.Merge(b)
+		return Equal(a, ref)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortNeighbors(t *testing.T) {
+	ns := []Neighbor{{Idx: 2, Dist2: 1}, {Idx: 1, Dist2: 1}, {Idx: 0, Dist2: 0.5}}
+	SortNeighbors(ns)
+	if ns[0].Idx != 0 || ns[1].Idx != 1 || ns[2].Idx != 2 {
+		t.Errorf("SortNeighbors = %v", ns)
+	}
+}

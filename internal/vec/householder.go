@@ -1,0 +1,54 @@
+package vec
+
+import "math"
+
+// Householder is an orthogonal reflection H = I - 2 u u^T with |u| = 1.
+// It is the cheapest way to realize the rotations needed by the
+// Miller–Teng–Thurston–Vavasis conformal map: a single reflection maps any
+// given unit vector onto any other, and applying it costs O(d) per point
+// with no matrix storage.
+type Householder struct {
+	u        Vec  // unit reflection axis; nil means identity
+	identity bool // true when the requested map was already the identity
+}
+
+// NewHouseholder returns the reflection mapping unit vector `from` to unit
+// vector `to`. Both inputs must be unit length (checked loosely). When the
+// vectors already coincide the identity transform is returned.
+func NewHouseholder(from, to Vec) Householder {
+	assertSameDim(from, to)
+	diff := Sub(from, to)
+	n2 := Norm2(diff)
+	if n2 < 1e-30 {
+		return Householder{identity: true}
+	}
+	return Householder{u: Scale(1/math.Sqrt(n2), diff)}
+}
+
+// Apply returns H·v as a new vector.
+func (h Householder) Apply(v Vec) Vec {
+	if h.identity {
+		return v.Clone()
+	}
+	s := 2 * Dot(h.u, v)
+	w := v.Clone()
+	return AXPY(w, -s, h.u)
+}
+
+// ApplyTo sets dst = H·v and returns dst. dst may alias v.
+func (h Householder) ApplyTo(dst, v Vec) Vec {
+	if h.identity {
+		copy(dst, v)
+		return dst
+	}
+	s := 2 * Dot(h.u, v)
+	copy(dst, v)
+	return AXPY(dst, -s, h.u)
+}
+
+// Inverse returns the inverse transform. Reflections are involutions, so the
+// inverse is the reflection itself; the method exists for call-site clarity.
+func (h Householder) Inverse() Householder { return h }
+
+// IsIdentity reports whether the transform is the identity map.
+func (h Householder) IsIdentity() bool { return h.identity }

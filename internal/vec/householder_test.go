@@ -1,0 +1,107 @@
+package vec
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func randUnit(r *rand.Rand, d int) Vec {
+	for {
+		v := make(Vec, d)
+		for i := range v {
+			v[i] = r.NormFloat64()
+		}
+		if Norm(v) > 1e-6 {
+			return Normalize(v)
+		}
+	}
+}
+
+func TestHouseholderMapsFromToTo(t *testing.T) {
+	r := rand.New(rand.NewPCG(11, 12))
+	for i := 0; i < 500; i++ {
+		d := r.IntN(6) + 2
+		from, to := randUnit(r, d), randUnit(r, d)
+		h := NewHouseholder(from, to)
+		got := h.Apply(from)
+		if !ApproxEqual(got, to, 1e-10) {
+			t.Fatalf("d=%d: H(from) = %v, want %v", d, got, to)
+		}
+	}
+}
+
+func TestHouseholderPreservesNorm(t *testing.T) {
+	r := rand.New(rand.NewPCG(13, 14))
+	for i := 0; i < 500; i++ {
+		d := r.IntN(6) + 2
+		h := NewHouseholder(randUnit(r, d), randUnit(r, d))
+		v := randVec(r, d)
+		if !almostEq(Norm(h.Apply(v)), Norm(v), 1e-10) {
+			t.Fatalf("reflection changed norm: |Hv|=%v |v|=%v", Norm(h.Apply(v)), Norm(v))
+		}
+	}
+}
+
+func TestHouseholderInvolution(t *testing.T) {
+	r := rand.New(rand.NewPCG(15, 16))
+	for i := 0; i < 500; i++ {
+		d := r.IntN(6) + 2
+		h := NewHouseholder(randUnit(r, d), randUnit(r, d))
+		v := randVec(r, d)
+		back := h.Inverse().Apply(h.Apply(v))
+		if !ApproxEqual(back, v, 1e-9) {
+			t.Fatalf("H(H(v)) != v: %v vs %v", back, v)
+		}
+	}
+}
+
+func TestHouseholderIdentity(t *testing.T) {
+	u := Of(1, 0, 0)
+	h := NewHouseholder(u, u)
+	if !h.IsIdentity() {
+		t.Fatal("expected identity transform")
+	}
+	v := Of(3, 4, 5)
+	if !Equal(h.Apply(v), v) {
+		t.Error("identity Apply changed vector")
+	}
+	dst := New(3)
+	h.ApplyTo(dst, v)
+	if !Equal(dst, v) {
+		t.Error("identity ApplyTo changed vector")
+	}
+}
+
+func TestHouseholderApplyToAlias(t *testing.T) {
+	from, to := Of(1, 0), Of(0, 1)
+	h := NewHouseholder(from, to)
+	v := Of(1, 0)
+	h.ApplyTo(v, v)
+	if !ApproxEqual(v, Of(0, 1), 1e-12) {
+		t.Errorf("aliased ApplyTo = %v", v)
+	}
+}
+
+func TestHouseholderPreservesInnerProducts(t *testing.T) {
+	r := rand.New(rand.NewPCG(17, 18))
+	for i := 0; i < 200; i++ {
+		d := r.IntN(6) + 2
+		h := NewHouseholder(randUnit(r, d), randUnit(r, d))
+		a, b := randVec(r, d), randVec(r, d)
+		if !almostEq(Dot(h.Apply(a), h.Apply(b)), Dot(a, b), 1e-8) {
+			t.Fatal("reflection changed inner product")
+		}
+	}
+}
+
+func TestHouseholderNearlyEqualVectors(t *testing.T) {
+	// from and to differ by far less than the identity cutoff.
+	from := Of(1, 0)
+	to := Normalize(Of(1, 1e-17))
+	h := NewHouseholder(from, to)
+	got := h.Apply(from)
+	if math.Abs(Norm(got)-1) > 1e-12 {
+		t.Errorf("near-identity reflection broke norm: %v", got)
+	}
+}

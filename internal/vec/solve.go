@@ -1,0 +1,158 @@
+package vec
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned by SolveLinear when the system matrix is singular
+// or so ill-conditioned that elimination finds no usable pivot.
+var ErrSingular = errors.New("vec: singular linear system")
+
+// SolveLinear solves the dense n×n system A x = b by Gaussian elimination
+// with partial pivoting, destroying neither input. It is intended for the
+// tiny systems that arise in circumsphere and Radon-point computations
+// (n = d+2 at most), where a general linear-algebra dependency would be
+// overkill.
+func SolveLinear(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("vec: malformed linear system")
+	}
+	// Work on copies: callers reuse their matrices across retries.
+	m := make([][]float64, n)
+	for i := range A {
+		if len(A[i]) != n {
+			return nil, errors.New("vec: non-square linear system")
+		}
+		m[i] = append([]float64(nil), A[i]...)
+		m[i] = append(m[i], b[i]) // augmented column
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot: pick the row with the largest magnitude in col.
+		piv, best := -1, 0.0
+		for r := col; r < n; r++ {
+			if a := math.Abs(m[r][col]); a > best {
+				piv, best = r, a
+			}
+		}
+		if piv < 0 || best < 1e-300 {
+			return nil, ErrSingular
+		}
+		m[col], m[piv] = m[piv], m[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := m[r][n]
+		for c := r + 1; c < n; c++ {
+			s -= m[r][c] * x[c]
+		}
+		x[r] = s / m[r][r]
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, ErrSingular
+		}
+	}
+	return x, nil
+}
+
+// NullVector returns a nontrivial solution of the homogeneous system
+// A x = 0 for an m×n matrix with m < n (more unknowns than equations),
+// using column-pivoted elimination. The returned vector has unit infinity
+// norm. It is used to find the affine dependence underlying a Radon
+// partition.
+func NullVector(A [][]float64) ([]float64, error) {
+	m := len(A)
+	if m == 0 {
+		return nil, errors.New("vec: empty homogeneous system")
+	}
+	n := len(A[0])
+	if n <= m {
+		return nil, errors.New("vec: homogeneous system needs more unknowns than equations")
+	}
+	// Row-reduce a working copy.
+	w := make([][]float64, m)
+	for i := range A {
+		if len(A[i]) != n {
+			return nil, errors.New("vec: ragged homogeneous system")
+		}
+		w[i] = append([]float64(nil), A[i]...)
+	}
+	pivotCol := make([]int, 0, m)
+	isPivot := make([]bool, n)
+	row := 0
+	for col := 0; col < n && row < m; col++ {
+		piv, best := -1, 1e-12
+		for r := row; r < m; r++ {
+			if a := math.Abs(w[r][col]); a > best {
+				piv, best = r, a
+			}
+		}
+		if piv < 0 {
+			continue // free column
+		}
+		w[row], w[piv] = w[piv], w[row]
+		inv := 1 / w[row][col]
+		for c := col; c < n; c++ {
+			w[row][c] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == row || w[r][col] == 0 {
+				continue
+			}
+			f := w[r][col]
+			for c := col; c < n; c++ {
+				w[r][c] -= f * w[row][c]
+			}
+		}
+		pivotCol = append(pivotCol, col)
+		isPivot[col] = true
+		row++
+	}
+	// Choose the first free column and back-substitute.
+	free := -1
+	for c := 0; c < n; c++ {
+		if !isPivot[c] {
+			free = c
+			break
+		}
+	}
+	if free < 0 {
+		return nil, ErrSingular
+	}
+	x := make([]float64, n)
+	x[free] = 1
+	for r := len(pivotCol) - 1; r >= 0; r-- {
+		pc := pivotCol[r]
+		s := 0.0
+		for c := pc + 1; c < n; c++ {
+			s += w[r][c] * x[c]
+		}
+		x[pc] = -s
+	}
+	// Normalize to unit infinity norm for numerical comparability.
+	max := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	if max == 0 || math.IsNaN(max) || math.IsInf(max, 0) {
+		return nil, ErrSingular
+	}
+	for i := range x {
+		x[i] /= max
+	}
+	return x, nil
+}

@@ -1,0 +1,49 @@
+package vm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkForkJoinOverhead measures the bookkeeping of a balanced
+// fork-join recursion with trivial leaf work — the cost the instrumented
+// machine adds on top of the algorithms.
+func BenchmarkForkJoinOverhead(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			m := NewMachine(workers)
+			var rec func(ctx *Ctx, depth int)
+			rec = func(ctx *Ctx, depth int) {
+				ctx.Prim(1)
+				if depth == 0 {
+					return
+				}
+				ctx.Fork(
+					func(c *Ctx) { rec(c, depth-1) },
+					func(c *Ctx) { rec(c, depth-1) },
+				)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec(m.NewCtx(), 10) // 2^10 leaves
+			}
+		})
+	}
+}
+
+func BenchmarkPrim(b *testing.B) {
+	c := Sequential().NewCtx()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Prim(1024)
+	}
+}
+
+func BenchmarkForkN(b *testing.B) {
+	m := NewMachine(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := m.NewCtx()
+		c.ForkN(64, func(j int, ctx *Ctx) { ctx.Prim(j) })
+	}
+}

@@ -1,0 +1,211 @@
+// Package vm simulates the parallel vector model (Blelloch) that the paper
+// assumes: a machine whose primitive operations are whole-vector operations
+// — elementwise arithmetic, permutation, pack, and crucially SCAN (prefix
+// sum) — each costing one unit-time step regardless of vector length.
+//
+// The simulator does not interpret instructions. Instead, algorithm code
+// performs its real Go computation and *charges* the machine for the vector
+// primitives it conceptually executed:
+//
+//	ctx.Prim(n)        // one vector primitive over n elements
+//	ctx.Fork(f, g)     // divide and conquer: time is max, work is sum
+//
+// A Ctx accumulates two quantities:
+//
+//	Steps — the critical-path length: the paper's "parallel time"
+//	Work  — total element-operations: the paper's processor-time product
+//
+// Fork optionally executes branches on real goroutines (bounded by the
+// machine's parallelism budget), so the same instrumented code serves both
+// as a cost model and as an actual parallel implementation. Cost accounting
+// is deterministic: it never depends on whether a branch ran inline or on a
+// goroutine.
+package vm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Cost is the simulated complexity of a computation on the vector model.
+type Cost struct {
+	Steps int64 // critical-path unit-time vector operations ("parallel time")
+	Work  int64 // total element-operations across all processors
+}
+
+// Add returns the cost of running c then d sequentially.
+func (c Cost) Add(d Cost) Cost {
+	return Cost{Steps: c.Steps + d.Steps, Work: c.Work + d.Work}
+}
+
+// ParMax returns the cost of running c and d in parallel: elapsed steps are
+// the maximum, work adds.
+func (c Cost) ParMax(d Cost) Cost {
+	steps := c.Steps
+	if d.Steps > steps {
+		steps = d.Steps
+	}
+	return Cost{Steps: steps, Work: c.Work + d.Work}
+}
+
+func (c Cost) String() string {
+	return fmt.Sprintf("steps=%d work=%d", c.Steps, c.Work)
+}
+
+// Machine bounds the real goroutine parallelism used by Fork. The cost
+// accounting is identical for any bound, including 1 (fully sequential).
+type Machine struct {
+	sem chan struct{}
+}
+
+// NewMachine returns a machine that runs at most workers branches
+// concurrently. workers <= 0 selects GOMAXPROCS.
+func NewMachine(workers int) *Machine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Machine{sem: make(chan struct{}, workers)}
+}
+
+// Sequential is a machine that never spawns goroutines; useful in tests and
+// when the caller manages parallelism itself.
+func Sequential() *Machine { return &Machine{sem: nil} }
+
+// Ctx accumulates simulated cost along one strand of execution. A Ctx is
+// confined to a single goroutine; Fork creates independent child contexts
+// for its branches and merges their costs afterwards.
+type Ctx struct {
+	m     *Machine
+	steps int64
+	work  int64
+}
+
+// NewCtx returns a fresh accounting context on m.
+func (m *Machine) NewCtx() *Ctx { return &Ctx{m: m} }
+
+// Prim charges one vector primitive over n elements: 1 step, n work.
+// This is the cost of an elementwise op, a permute, a pack, or a SCAN in
+// the paper's model. n must be non-negative.
+func (c *Ctx) Prim(n int) {
+	if n < 0 {
+		panic("vm: negative primitive width")
+	}
+	c.steps++
+	c.work += int64(n)
+}
+
+// PrimK charges k consecutive vector primitives over n elements each, e.g.
+// the d coordinate-wise passes of a distance computation.
+func (c *Ctx) PrimK(k, n int) {
+	if n < 0 || k < 0 {
+		panic("vm: negative primitive size")
+	}
+	c.steps += int64(k)
+	c.work += int64(k) * int64(n)
+}
+
+// Charge adds an externally computed cost sequentially.
+func (c *Ctx) Charge(cost Cost) {
+	c.steps += cost.Steps
+	c.work += cost.Work
+}
+
+// Cost returns the cost accumulated so far.
+func (c *Ctx) Cost() Cost { return Cost{Steps: c.steps, Work: c.work} }
+
+// Fork runs the branches conceptually in parallel: the caller's elapsed
+// steps increase by the maximum branch steps and its work by the branch
+// total. Branches execute on goroutines when the machine has spare
+// parallelism budget, inline otherwise; accounting is unaffected by that
+// choice.
+func (c *Ctx) Fork(branches ...func(*Ctx)) {
+	switch len(branches) {
+	case 0:
+		return
+	case 1:
+		// A single branch is just sequential composition.
+		child := &Ctx{m: c.m}
+		branches[0](child)
+		c.Charge(child.Cost())
+		return
+	}
+	children := make([]*Ctx, len(branches))
+	var wg sync.WaitGroup
+	for i, f := range branches {
+		children[i] = &Ctx{m: c.m}
+		if i == len(branches)-1 {
+			// Run the last branch inline: the forking strand always has
+			// work to do itself, and this bounds goroutine count.
+			f(children[i])
+			continue
+		}
+		if c.m != nil && c.m.sem != nil {
+			select {
+			case c.m.sem <- struct{}{}:
+				wg.Add(1)
+				go func(i int, f func(*Ctx)) {
+					defer wg.Done()
+					defer func() { <-c.m.sem }()
+					f(children[i])
+				}(i, f)
+				continue
+			default:
+				// No budget: fall through to inline execution.
+			}
+		}
+		f(children[i])
+	}
+	wg.Wait()
+	merged := children[0].Cost()
+	for _, ch := range children[1:] {
+		merged = merged.ParMax(ch.Cost())
+	}
+	c.Charge(merged)
+}
+
+// ForkN runs fn(i) for i in [0, n) conceptually all in parallel (one
+// processor group per item): steps increase by the maximum item cost, work
+// by the total. Execution is chunked over the machine's budget.
+func (c *Ctx) ForkN(n int, fn func(i int, ctx *Ctx)) {
+	if n <= 0 {
+		return
+	}
+	children := make([]*Ctx, n)
+	workers := 1
+	if c.m != nil && c.m.sem != nil {
+		workers = cap(c.m.sem)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			children[i] = &Ctx{m: c.m}
+			fn(i, children[i])
+		}
+	} else {
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, min((w+1)*chunk, n)
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					children[i] = &Ctx{m: c.m}
+					fn(i, children[i])
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	merged := children[0].Cost()
+	for _, ch := range children[1:] {
+		merged = merged.ParMax(ch.Cost())
+	}
+	c.Charge(merged)
+}

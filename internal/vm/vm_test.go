@@ -1,0 +1,189 @@
+package vm
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestCostAddAndParMax(t *testing.T) {
+	a := Cost{Steps: 3, Work: 10}
+	b := Cost{Steps: 5, Work: 7}
+	if got := a.Add(b); got.Steps != 8 || got.Work != 17 {
+		t.Errorf("Add = %+v", got)
+	}
+	if got := a.ParMax(b); got.Steps != 5 || got.Work != 17 {
+		t.Errorf("ParMax = %+v", got)
+	}
+	if got := b.ParMax(a); got.Steps != 5 || got.Work != 17 {
+		t.Errorf("ParMax not symmetric: %+v", got)
+	}
+	if a.String() == "" {
+		t.Error("Cost.String empty")
+	}
+}
+
+func TestPrimAccounting(t *testing.T) {
+	c := Sequential().NewCtx()
+	c.Prim(100)
+	c.Prim(50)
+	c.PrimK(3, 10)
+	got := c.Cost()
+	if got.Steps != 5 || got.Work != 180 {
+		t.Errorf("Cost = %+v, want steps=5 work=180", got)
+	}
+}
+
+func TestPrimPanicsOnNegative(t *testing.T) {
+	c := Sequential().NewCtx()
+	for name, f := range map[string]func(){
+		"Prim":  func() { c.Prim(-1) },
+		"PrimK": func() { c.PrimK(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestForkTakesMaxSteps(t *testing.T) {
+	for _, m := range []*Machine{Sequential(), NewMachine(4)} {
+		c := m.NewCtx()
+		c.Fork(
+			func(ctx *Ctx) { ctx.PrimK(10, 1) },  // 10 steps, 10 work
+			func(ctx *Ctx) { ctx.PrimK(3, 100) }, // 3 steps, 300 work
+		)
+		got := c.Cost()
+		if got.Steps != 10 || got.Work != 310 {
+			t.Errorf("Fork cost = %+v, want steps=10 work=310", got)
+		}
+	}
+}
+
+func TestForkEmptyAndSingle(t *testing.T) {
+	c := Sequential().NewCtx()
+	c.Fork()
+	if got := c.Cost(); got.Steps != 0 || got.Work != 0 {
+		t.Errorf("empty Fork charged %+v", got)
+	}
+	c.Fork(func(ctx *Ctx) { ctx.Prim(5) })
+	if got := c.Cost(); got.Steps != 1 || got.Work != 5 {
+		t.Errorf("single Fork = %+v", got)
+	}
+}
+
+func TestNestedForkCriticalPath(t *testing.T) {
+	// Balanced recursion of depth 3, each node costs 1 step on 1 element.
+	var recurse func(ctx *Ctx, depth int)
+	recurse = func(ctx *Ctx, depth int) {
+		ctx.Prim(1 << depth)
+		if depth == 0 {
+			return
+		}
+		ctx.Fork(
+			func(c *Ctx) { recurse(c, depth-1) },
+			func(c *Ctx) { recurse(c, depth-1) },
+		)
+	}
+	for _, m := range []*Machine{Sequential(), NewMachine(8)} {
+		c := m.NewCtx()
+		recurse(c, 3)
+		got := c.Cost()
+		// Critical path: one node per level, 4 steps.
+		if got.Steps != 4 {
+			t.Errorf("Steps = %d, want 4", got.Steps)
+		}
+		// Work: sum over all nodes: level ℓ has 2^(3-ℓ) nodes of width 2^ℓ = 8 each,
+		// 4 levels → 32.
+		if got.Work != 32 {
+			t.Errorf("Work = %d, want 32", got.Work)
+		}
+	}
+}
+
+func TestDeterministicAcrossMachines(t *testing.T) {
+	run := func(m *Machine) Cost {
+		c := m.NewCtx()
+		var rec func(ctx *Ctx, n int)
+		rec = func(ctx *Ctx, n int) {
+			ctx.Prim(n)
+			if n <= 1 {
+				return
+			}
+			ctx.Fork(
+				func(c *Ctx) { rec(c, n/2) },
+				func(c *Ctx) { rec(c, n-n/2) },
+				func(c *Ctx) { c.Prim(n / 3) },
+			)
+		}
+		rec(c, 1000)
+		return c.Cost()
+	}
+	seq := run(Sequential())
+	for workers := 1; workers <= 8; workers *= 2 {
+		if got := run(NewMachine(workers)); got != seq {
+			t.Errorf("workers=%d: cost %+v != sequential %+v", workers, got, seq)
+		}
+	}
+}
+
+func TestForkActuallyRunsConcurrently(t *testing.T) {
+	// With budget 2, two branches that wait for each other must both make
+	// progress; we verify with a rendezvous.
+	m := NewMachine(2)
+	c := m.NewCtx()
+	var flag atomic.Int32
+	ready := make(chan struct{})
+	c.Fork(
+		func(ctx *Ctx) {
+			flag.Store(1)
+			close(ready)
+		},
+		func(ctx *Ctx) {
+			<-ready // deadlocks unless branch 1 runs concurrently or earlier
+			flag.Add(1)
+		},
+	)
+	if flag.Load() != 2 {
+		t.Errorf("flag = %d, want 2", flag.Load())
+	}
+}
+
+func TestForkN(t *testing.T) {
+	for _, m := range []*Machine{Sequential(), NewMachine(4)} {
+		c := m.NewCtx()
+		c.ForkN(10, func(i int, ctx *Ctx) { ctx.PrimK(i+1, 2) })
+		got := c.Cost()
+		// Max steps = 10, total work = 2 * (1+..+10) = 110.
+		if got.Steps != 10 || got.Work != 110 {
+			t.Errorf("ForkN cost = %+v", got)
+		}
+	}
+	c := Sequential().NewCtx()
+	c.ForkN(0, func(i int, ctx *Ctx) { ctx.Prim(1) })
+	if got := c.Cost(); got.Steps != 0 {
+		t.Errorf("ForkN(0) charged %+v", got)
+	}
+}
+
+func TestChargeSequential(t *testing.T) {
+	c := Sequential().NewCtx()
+	c.Charge(Cost{Steps: 7, Work: 13})
+	c.Charge(Cost{Steps: 1, Work: 2})
+	if got := c.Cost(); got.Steps != 8 || got.Work != 15 {
+		t.Errorf("Charge = %+v", got)
+	}
+}
+
+func TestNewMachineDefaults(t *testing.T) {
+	if m := NewMachine(0); cap(m.sem) < 1 {
+		t.Error("NewMachine(0) must default to at least 1 worker")
+	}
+	if m := NewMachine(-5); cap(m.sem) < 1 {
+		t.Error("NewMachine(-5) must default to at least 1 worker")
+	}
+}

@@ -1,0 +1,223 @@
+package sepdc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sepdc/internal/brute"
+	"sepdc/internal/core"
+	"sepdc/internal/kdtree"
+	"sepdc/internal/knngraph"
+	"sepdc/internal/topk"
+	"sepdc/internal/vec"
+	"sepdc/internal/vm"
+	"sepdc/internal/xrand"
+)
+
+// Algorithm selects how BuildKNNGraph computes the neighbor lists. All
+// algorithms return exactly the same graph (ties broken by smaller index).
+type Algorithm string
+
+const (
+	// Sphere is the paper's Section-6 algorithm: sphere-separator parallel
+	// divide and conquer with fast correction and punting. Random O(log n)
+	// parallel time on the vector model.
+	Sphere Algorithm = "sphere"
+	// Hyperplane is the Section-5 baseline: median-hyperplane divide and
+	// conquer with query-structure correction. Random O(log² n) time.
+	Hyperplane Algorithm = "hyperplane"
+	// KDTree is the sequential baseline (the role Vaidya's algorithm plays
+	// in the paper): one branch-and-bound query per point.
+	KDTree Algorithm = "kdtree"
+	// Brute tests all pairs; the ground truth for testing.
+	Brute Algorithm = "brute"
+)
+
+// Options configures BuildKNNGraph.
+type Options struct {
+	// Algorithm selects the implementation; default Sphere.
+	Algorithm Algorithm
+	// Seed drives all randomness; equal seeds give identical results.
+	Seed uint64
+	// Workers bounds goroutine parallelism of the divide-and-conquer
+	// algorithms (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
+	// BaseSize overrides the brute-force cutoff of the recursion
+	// (0 = the paper's max(2(k+1), log₂ n)).
+	BaseSize int
+}
+
+func (o *Options) algorithm() Algorithm {
+	if o == nil || o.Algorithm == "" {
+		return Sphere
+	}
+	return o.Algorithm
+}
+
+func (o *Options) seed() uint64 {
+	if o == nil {
+		return 1
+	}
+	return o.Seed
+}
+
+// Neighbor is one entry of a point's k-nearest-neighbor list.
+type Neighbor struct {
+	Index    int     // index of the neighboring point
+	Distance float64 // Euclidean distance
+}
+
+// Stats reports what a graph construction did; fields are zero for the
+// non-divide-and-conquer algorithms where they do not apply.
+type Stats struct {
+	// SimulatedSteps is the critical-path length in unit-time vector
+	// operations on the paper's machine model ("parallel time").
+	SimulatedSteps int64
+	// SimulatedWork is the total element-operations ("processors × time").
+	SimulatedWork int64
+	// SeparatorTrials counts Unit Time Separator invocations.
+	SeparatorTrials int
+	// Punts counts corrections that fell back to the query structure.
+	Punts int
+	// FastCorrections counts marches that completed.
+	FastCorrections int
+}
+
+// Graph is the k-nearest-neighbor graph of Definition 1.1: vertices are
+// the input points; {i, j} is an edge when i is one of j's k nearest
+// neighbors or vice versa.
+type Graph struct {
+	k     int
+	n     int
+	lists []*topk.List
+	csr   *knngraph.Graph
+	stats Stats
+}
+
+// BuildKNNGraph computes the exact k-nearest-neighbor graph of the points.
+// Points must be finite, share one dimension d ≥ 1, and k must be ≥ 1.
+// Duplicate points are legal (they are neighbors at distance 0).
+func BuildKNNGraph(points [][]float64, k int, opts *Options) (*Graph, error) {
+	pts, err := convert(points)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("sepdc: k must be >= 1, got %d", k)
+	}
+	var lists []*topk.List
+	var st Stats
+	switch algo := opts.algorithm(); algo {
+	case Brute:
+		lists = brute.AllKNN(pts, k)
+	case KDTree:
+		lists = kdtree.Build(pts).AllKNN(k)
+	case Sphere, Hyperplane:
+		cOpts := &core.Options{K: k}
+		if opts != nil {
+			cOpts.BaseSize = opts.BaseSize
+			if opts.Workers != 1 {
+				cOpts.Machine = vm.NewMachine(opts.Workers)
+			}
+		} else {
+			cOpts.Machine = vm.NewMachine(0)
+		}
+		g := xrand.New(opts.seed())
+		var res *core.Result
+		var err error
+		if algo == Sphere {
+			res, err = core.SphereDNC(pts, g, cOpts)
+		} else {
+			res, err = core.HyperplaneDNC(pts, g, cOpts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		lists = res.Lists
+		st = Stats{
+			SimulatedSteps:  res.Stats.Cost.Steps,
+			SimulatedWork:   res.Stats.Cost.Work,
+			SeparatorTrials: res.Stats.SeparatorTrials,
+			Punts:           res.Stats.ThresholdPunts + res.Stats.MarchAborts + res.Stats.QueryCorrections,
+			FastCorrections: res.Stats.FastCorrections,
+		}
+	default:
+		return nil, fmt.Errorf("sepdc: unknown algorithm %q", algo)
+	}
+	return &Graph{
+		k:     k,
+		n:     len(pts),
+		lists: lists,
+		csr:   knngraph.FromLists(lists, k),
+		stats: st,
+	}, nil
+}
+
+func convert(points [][]float64) ([]vec.Vec, error) {
+	if len(points) == 0 {
+		return nil, errors.New("sepdc: no points")
+	}
+	d := len(points[0])
+	if d == 0 {
+		return nil, errors.New("sepdc: zero-dimensional points")
+	}
+	pts := make([]vec.Vec, len(points))
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("sepdc: point %d has dimension %d, want %d", i, len(p), d)
+		}
+		v := vec.Vec(p)
+		if !vec.IsFinite(v) {
+			return nil, fmt.Errorf("sepdc: point %d has a non-finite coordinate", i)
+		}
+		pts[i] = v
+	}
+	return pts, nil
+}
+
+// NumPoints returns the number of vertices.
+func (g *Graph) NumPoints() int { return g.n }
+
+// K returns the k the graph was built with.
+func (g *Graph) K() int { return g.k }
+
+// Stats returns construction statistics.
+func (g *Graph) Stats() Stats { return g.stats }
+
+// Neighbors returns point i's k nearest neighbors in ascending (distance,
+// index) order. For point sets with at most k points the list is shorter.
+func (g *Graph) Neighbors(i int) []Neighbor {
+	items := g.lists[i].Items()
+	out := make([]Neighbor, len(items))
+	for j, nb := range items {
+		out[j] = Neighbor{Index: nb.Idx, Distance: math.Sqrt(nb.Dist2)}
+	}
+	return out
+}
+
+// Adjacency returns the sorted undirected adjacency list of vertex i per
+// Definition 1.1 (the union of in- and out-neighbors).
+func (g *Graph) Adjacency(i int) []int {
+	row := g.csr.Neighbors(i)
+	out := make([]int, len(row))
+	for j, v := range row {
+		out[j] = int(v)
+	}
+	return out
+}
+
+// HasEdge reports whether {i, j} is an edge of the graph.
+func (g *Graph) HasEdge(i, j int) bool { return g.csr.HasEdge(i, j) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.csr.NumEdges() }
+
+// Degree returns the undirected degree of vertex i.
+func (g *Graph) Degree(i int) int { return g.csr.Degree(i) }
+
+// Components returns a component label per vertex and the component count.
+func (g *Graph) Components() ([]int, int) { return g.csr.Components() }
+
+// Equal reports whether two graphs have identical edge sets.
+func Equal(a, b *Graph) bool { return knngraph.Equal(a.csr, b.csr) }

@@ -1,0 +1,71 @@
+package sepdc
+
+import (
+	"fmt"
+
+	"sepdc/internal/nbrsys"
+	"sepdc/internal/septree"
+	"sepdc/internal/xrand"
+)
+
+// QueryStructure is the separator-based search structure of Section 3:
+// given the k-neighborhood system of a point set, it answers "which
+// points' k-neighborhood balls contain q" in O(k + log n) time with O(n)
+// space.
+type QueryStructure struct {
+	tree *septree.Tree
+	dim  int
+}
+
+// QueryStructureStats reports the built structure's shape, the quantities
+// Lemma 3.1 bounds.
+type QueryStructureStats struct {
+	Height       int // root-to-leaf node count on the deepest path
+	Leaves       int
+	StoredBalls  int // Σ over leaves; O(n) by Lemma 3.1 despite duplication
+	BuildTrials  int // total separator candidates consumed
+	CriticalPath int // max separator trials on any root-leaf path (Thm 3.1)
+}
+
+// NewQueryStructure builds the search structure over the k-neighborhood
+// system of the points.
+func NewQueryStructure(points [][]float64, k int, seed uint64) (*QueryStructure, error) {
+	pts, err := convert(points)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("sepdc: k must be >= 1, got %d", k)
+	}
+	sys := nbrsys.KNeighborhood(pts, k)
+	tree, err := septree.Build(sys, xrand.New(seed), nil)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryStructure{tree: tree, dim: len(pts[0])}, nil
+}
+
+// CoveringBalls returns, in ascending order, the indices of the points
+// whose k-neighborhood ball strictly contains q. By the definition of the
+// k-neighborhood system, i ∈ CoveringBalls(q) means q is closer to point i
+// than i's current k-th nearest neighbor — the "reverse nearest neighbor"
+// relation.
+func (qs *QueryStructure) CoveringBalls(q []float64) ([]int, error) {
+	if len(q) != qs.dim {
+		return nil, fmt.Errorf("sepdc: query dimension %d, want %d", len(q), qs.dim)
+	}
+	balls, _ := qs.tree.Query(q)
+	return balls, nil
+}
+
+// Stats returns the structure's shape statistics.
+func (qs *QueryStructure) Stats() QueryStructureStats {
+	st := qs.tree.Stats
+	return QueryStructureStats{
+		Height:       st.Height,
+		Leaves:       st.Leaves,
+		StoredBalls:  st.TotalStored,
+		BuildTrials:  st.SeparatorTrials,
+		CriticalPath: st.CriticalTrials,
+	}
+}

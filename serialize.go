@@ -1,0 +1,88 @@
+package sepdc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"sepdc/internal/knngraph"
+	"sepdc/internal/topk"
+)
+
+// graphWire is the on-the-wire representation of a Graph: the directed
+// neighbor lists are sufficient to reconstruct everything else.
+type graphWire struct {
+	Version int
+	K       int
+	N       int
+	// Flattened directed lists: Offsets[i]..Offsets[i+1] index into Idx
+	// and Dist2.
+	Offsets []int32
+	Idx     []int32
+	Dist2   []float64
+}
+
+const wireVersion = 1
+
+// Encode writes the graph in a compact binary form (gob-framed). The
+// encoding is deterministic for a given graph.
+func (g *Graph) Encode(w io.Writer) error {
+	wire := graphWire{Version: wireVersion, K: g.k, N: g.n}
+	wire.Offsets = make([]int32, g.n+1)
+	for i, l := range g.lists {
+		wire.Offsets[i+1] = wire.Offsets[i] + int32(l.Len())
+	}
+	total := int(wire.Offsets[g.n])
+	wire.Idx = make([]int32, 0, total)
+	wire.Dist2 = make([]float64, 0, total)
+	for _, l := range g.lists {
+		for _, nb := range l.Items() {
+			wire.Idx = append(wire.Idx, int32(nb.Idx))
+			wire.Dist2 = append(wire.Dist2, nb.Dist2)
+		}
+	}
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// DecodeGraph reads a graph previously written by Encode.
+func DecodeGraph(r io.Reader) (*Graph, error) {
+	var wire graphWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("sepdc: decode: %w", err)
+	}
+	if wire.Version != wireVersion {
+		return nil, fmt.Errorf("sepdc: unsupported graph encoding version %d", wire.Version)
+	}
+	if wire.K < 1 || wire.N < 0 || len(wire.Offsets) != wire.N+1 {
+		return nil, fmt.Errorf("sepdc: corrupt graph header")
+	}
+	total := len(wire.Idx)
+	if len(wire.Dist2) != total || int(wire.Offsets[wire.N]) != total {
+		return nil, fmt.Errorf("sepdc: corrupt graph payload")
+	}
+	lists := make([]*topk.List, wire.N)
+	for i := 0; i < wire.N; i++ {
+		lo, hi := wire.Offsets[i], wire.Offsets[i+1]
+		if lo > hi || hi > int32(total) {
+			return nil, fmt.Errorf("sepdc: corrupt offsets at vertex %d", i)
+		}
+		if int(hi-lo) > wire.K {
+			return nil, fmt.Errorf("sepdc: vertex %d has %d neighbors, k=%d", i, hi-lo, wire.K)
+		}
+		l := topk.New(wire.K)
+		for j := lo; j < hi; j++ {
+			idx := int(wire.Idx[j])
+			if idx < 0 || idx >= wire.N || idx == i {
+				return nil, fmt.Errorf("sepdc: corrupt neighbor index %d at vertex %d", idx, i)
+			}
+			l.Insert(idx, wire.Dist2[j])
+		}
+		lists[i] = l
+	}
+	return &Graph{
+		k:     wire.K,
+		n:     wire.N,
+		lists: lists,
+		csr:   knngraph.FromLists(lists, wire.K),
+	}, nil
+}
