@@ -1,0 +1,31 @@
+# Development entry points. `make verify` is the tier-1 gate (see ROADMAP.md).
+
+GO ?= go
+
+.PHONY: build vet test test-race bench bench-json verify clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race soak for the persistent worker pool and the scan primitives that run
+# on it (plus anything else cheap enough to race-test on every push).
+test-race:
+	$(GO) test -race ./internal/vm/... ./internal/scan/... ./internal/pool/...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the machine-readable BuildKNNGraph benchmark record.
+bench-json:
+	$(GO) run ./cmd/knnbench -out BENCH_knn.json
+
+verify: build test vet test-race
+
+clean:
+	$(GO) clean ./...

@@ -268,6 +268,39 @@ func BenchmarkDensityPly(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildKNNGraph is the perf-trajectory benchmark: the public entry
+// point per algorithm × n × d × k. cmd/knnbench runs the same grid and
+// writes the machine-readable BENCH_knn.json.
+func BenchmarkBuildKNNGraph(b *testing.B) {
+	for _, cfg := range []struct {
+		algo    Algorithm
+		n, d, k int
+	}{
+		{Sphere, 1 << 13, 2, 4},
+		{Sphere, 10000, 2, 4},
+		{Sphere, 10000, 3, 4},
+		{Hyperplane, 10000, 2, 4},
+		{KDTree, 10000, 2, 4},
+		{Brute, 2048, 2, 4},
+	} {
+		b.Run(fmt.Sprintf("algo=%s/n=%d/d=%d/k=%d", cfg.algo, cfg.n, cfg.d, cfg.k), func(b *testing.B) {
+			pts := benchPoints(b, cfg.n, cfg.d, pointgen.UniformCube)
+			points := make([][]float64, len(pts))
+			for i, p := range pts {
+				points[i] = p
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildKNNGraph(points, cfg.k, &Options{Algorithm: cfg.algo, Seed: 42}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(points))*float64(b.N)/b.Elapsed().Seconds(), "points/sec")
+		})
+	}
+}
+
 // BenchmarkPublicAPI: the documented entry point, as a user would call it.
 func BenchmarkPublicAPI(b *testing.B) {
 	pts := benchPoints(b, 1<<13, 2, pointgen.UniformCube)

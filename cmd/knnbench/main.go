@@ -1,0 +1,151 @@
+// Command knnbench runs the BuildKNNGraph benchmark grid (the same
+// algorithm × n × d × k grid as BenchmarkBuildKNNGraph in bench_test.go)
+// and writes a machine-readable BENCH_knn.json next to the repo root.
+//
+// The emitted file also carries the recorded baseline of the pre-flat-storage
+// seed (commit 267ddc0), measured back-to-back with the current code on the
+// same machine, so the performance claim is auditable:
+//
+//	go run ./cmd/knnbench -out BENCH_knn.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"sepdc"
+	"sepdc/internal/pointgen"
+	"sepdc/internal/xrand"
+)
+
+// Result is one grid cell's measurement.
+type Result struct {
+	Algorithm    string  `json:"algorithm"`
+	N            int     `json:"n"`
+	D            int     `json:"d"`
+	K            int     `json:"k"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	PointsPerSec float64 `json:"points_per_sec"`
+}
+
+// Report is the whole BENCH_knn.json document.
+type Report struct {
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Note       string   `json:"note"`
+	Baseline   []Result `json:"baseline"`
+	Results    []Result `json:"results"`
+}
+
+// baseline holds the seed measurements (commit 267ddc0, `go test -bench
+// 'BuildKNNGraph/algo=sphere/n=10000/d=2/k=4' -benchtime 15x`) taken in the
+// same session as the current-code numbers recorded in Results. They are
+// static by design: the seed tree no longer exists in the working copy.
+var baseline = []Result{
+	{Algorithm: "sphere", N: 10000, D: 2, K: 4, Iterations: 15,
+		NsPerOp: 119861240, AllocsPerOp: 1224674, BytesPerOp: 73158294, PointsPerSec: 83430},
+	{Algorithm: "kdtree", N: 10000, D: 2, K: 4, Iterations: 10,
+		NsPerOp: 28914015, AllocsPerOp: 92500, BytesPerOp: 14748935, PointsPerSec: 345853},
+}
+
+type cfg struct {
+	algo    sepdc.Algorithm
+	n, d, k int
+}
+
+var grid = []cfg{
+	{sepdc.Sphere, 1 << 13, 2, 4},
+	{sepdc.Sphere, 10000, 2, 4},
+	{sepdc.Sphere, 10000, 3, 4},
+	{sepdc.Hyperplane, 10000, 2, 4},
+	{sepdc.KDTree, 10000, 2, 4},
+	{sepdc.Brute, 2048, 2, 4},
+}
+
+func measure(c cfg, iters int) (Result, error) {
+	// Same generator and seed recipe as bench_test.go, so `go test -bench
+	// BuildKNNGraph` and knnbench report the same workload.
+	pts := pointgen.Dedup(pointgen.MustGenerate(pointgen.UniformCube, c.n, c.d, xrand.New(uint64(c.n*31+c.d))))
+	points := make([][]float64, len(pts))
+	for i, p := range pts {
+		points[i] = p
+	}
+	opts := &sepdc.Options{Algorithm: c.algo, Seed: 42}
+	run := func() error {
+		_, err := sepdc.BuildKNNGraph(points, c.k, opts)
+		return err
+	}
+	// Warm up pools and the allocator once before measuring.
+	if err := run(); err != nil {
+		return Result{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := run(); err != nil {
+			return Result{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Result{
+		Algorithm:    string(c.algo),
+		N:            len(points),
+		D:            c.d,
+		K:            c.k,
+		Iterations:   iters,
+		NsPerOp:      elapsed.Nanoseconds() / int64(iters),
+		AllocsPerOp:  int64(after.Mallocs-before.Mallocs) / int64(iters),
+		BytesPerOp:   int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		PointsPerSec: float64(len(points)) * float64(iters) / elapsed.Seconds(),
+	}, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_knn.json", "output file (- for stdout)")
+	iters := flag.Int("iters", 15, "measured iterations per grid cell")
+	flag.Parse()
+
+	rep := Report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "baseline = seed commit 267ddc0 (pre flat-storage), measured back-to-back " +
+			"with results on the same machine; grid matches BenchmarkBuildKNNGraph",
+	}
+	rep.Baseline = baseline
+	for _, c := range grid {
+		r, err := measure(c, *iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "knnbench: %s n=%d d=%d k=%d: %v\n", c.algo, c.n, c.d, c.k, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%-10s n=%-6d d=%d k=%d  %12d ns/op  %9d allocs/op  %9.0f points/sec\n",
+			r.Algorithm, r.N, r.D, r.K, r.NsPerOp, r.AllocsPerOp, r.PointsPerSec)
+		rep.Results = append(rep.Results, r)
+	}
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "knnbench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "knnbench:", err)
+		os.Exit(1)
+	}
+}

@@ -31,7 +31,7 @@ type GraphSeparator struct {
 // graph of the points. The graph itself need not be precomputed; pass the
 // same k used for the graph of interest.
 func FindGraphSeparator(points [][]float64, k int, seed uint64) (*GraphSeparator, error) {
-	pts, err := convert(points)
+	ps, err := convert(points)
 	if err != nil {
 		return nil, err
 	}
@@ -39,27 +39,28 @@ func FindGraphSeparator(points [][]float64, k int, seed uint64) (*GraphSeparator
 		return nil, fmt.Errorf("sepdc: k must be >= 1, got %d", k)
 	}
 	g := xrand.New(seed)
-	res, err := separator.FindGood(pts, g, nil)
+	res, err := separator.FindGoodFlat(ps, g, nil)
 	if err != nil {
 		return nil, err
 	}
-	sys := nbrsys.KNeighborhood(pts, k)
+	vecs := ps.Vecs()
+	sys := nbrsys.KNeighborhood(vecs, k)
 	graph, err := BuildKNNGraph(points, k, &Options{Algorithm: KDTree})
 	if err != nil {
 		return nil, err
 	}
-	vs := knngraph.InducedVertexSeparator(graph.csr, pts, sys, res.Sep)
+	vs := knngraph.InducedVertexSeparator(graph.csr, vecs, sys, res.Sep)
 
 	out := &GraphSeparator{
 		Separator:     toSeparatorResult(res),
 		W:             vs.W,
 		CrossingEdges: vs.CrossingEdges,
 	}
-	inW := make([]bool, len(pts))
+	inW := make([]bool, ps.N())
 	for _, w := range vs.W {
 		inW[w] = true
 	}
-	for i, p := range pts {
+	for i, p := range vecs {
 		if inW[i] {
 			continue
 		}

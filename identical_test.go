@@ -1,0 +1,152 @@
+package sepdc
+
+// Golden identical-output tests: the neighbor lists produced for fixed
+// seeds are fingerprinted and compared against testdata/golden_knn.json,
+// which was generated from the seed implementation ([][]float64 storage,
+// per-call goroutine fan-out) before the flat-storage refactor. Any change
+// that alters a single distance bit or neighbor index fails here.
+//
+// Regenerate (only when an intentional output change is agreed):
+//
+//	go test -run TestGoldenIdenticalOutput -update-golden
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sepdc/internal/pointgen"
+	"sepdc/internal/xrand"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_knn.json from the current implementation")
+
+type goldenCase struct {
+	Algo string `json:"algo"`
+	N    int    `json:"n"`
+	D    int    `json:"d"`
+	K    int    `json:"k"`
+	Seed uint64 `json:"seed"`
+}
+
+func (c goldenCase) String() string {
+	return fmt.Sprintf("%s/n=%d/d=%d/k=%d/seed=%d", c.Algo, c.N, c.D, c.K, c.Seed)
+}
+
+func goldenCases() []goldenCase {
+	var cases []goldenCase
+	for _, algo := range []string{"sphere", "hyperplane", "kdtree", "brute"} {
+		for _, n := range []int{512, 2048} {
+			for _, d := range []int{2, 3} {
+				for _, k := range []int{1, 4} {
+					for _, seed := range []uint64{1, 7} {
+						if algo == "brute" && n > 512 {
+							continue // quadratic; one size suffices
+						}
+						cases = append(cases, goldenCase{Algo: algo, N: n, D: d, K: k, Seed: seed})
+					}
+				}
+			}
+		}
+	}
+	return cases
+}
+
+// fingerprintGraph hashes every neighbor list — indices and the exact bit
+// patterns of the squared distances — into one 64-bit FNV-1a digest.
+func fingerprintGraph(g *Graph) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < g.NumPoints(); i++ {
+		binary.LittleEndian.PutUint64(buf[:], uint64(i))
+		h.Write(buf[:])
+		for _, nb := range g.lists[i].Items() {
+			binary.LittleEndian.PutUint64(buf[:], uint64(nb.Idx))
+			h.Write(buf[:])
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(nb.Dist2))
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func goldenInput(c goldenCase) [][]float64 {
+	pts := pointgen.Dedup(pointgen.MustGenerate(pointgen.UniformCube, c.N, c.D, xrand.New(c.Seed*977+3)))
+	out := make([][]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p
+	}
+	return out
+}
+
+func TestGoldenIdenticalOutput(t *testing.T) {
+	path := filepath.Join("testdata", "golden_knn.json")
+	got := make(map[string]string)
+	for _, c := range goldenCases() {
+		g, err := BuildKNNGraph(goldenInput(c), c.K, &Options{Algorithm: Algorithm(c.Algo), Seed: c.Seed})
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		got[c.String()] = fingerprintGraph(g)
+	}
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d fingerprints to %s", len(got), path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden file (run with -update-golden to create): %v", err)
+	}
+	want := make(map[string]string)
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d cases, test generates %d", len(want), len(got))
+	}
+	for name, w := range want {
+		if g, ok := got[name]; !ok {
+			t.Errorf("%s: case no longer generated", name)
+		} else if g != w {
+			t.Errorf("%s: fingerprint %s, want %s (output diverged from seed implementation)", name, g, w)
+		}
+	}
+}
+
+// TestGoldenWorkersInvariant pins down that the graph does not depend on the
+// worker count: the same fingerprint must come out of the sequential path
+// and the fully parallel path.
+func TestGoldenWorkersInvariant(t *testing.T) {
+	for _, c := range []goldenCase{
+		{Algo: "sphere", N: 2048, D: 2, K: 4, Seed: 1},
+		{Algo: "hyperplane", N: 2048, D: 3, K: 4, Seed: 7},
+	} {
+		in := goldenInput(c)
+		seq, err := BuildKNNGraph(in, c.K, &Options{Algorithm: Algorithm(c.Algo), Seed: c.Seed, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		par, err := BuildKNNGraph(in, c.K, &Options{Algorithm: Algorithm(c.Algo), Seed: c.Seed, Workers: 0})
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		if a, b := fingerprintGraph(seq), fingerprintGraph(par); a != b {
+			t.Errorf("%s: Workers=1 fingerprint %s != Workers=0 fingerprint %s", c, a, b)
+		}
+	}
+}

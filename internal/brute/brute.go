@@ -7,6 +7,7 @@
 package brute
 
 import (
+	"sepdc/internal/pts"
 	"sepdc/internal/topk"
 	"sepdc/internal/vec"
 )
@@ -27,14 +28,22 @@ func KNN(pts []vec.Vec, q, k int) *topk.List {
 
 // AllKNN returns the k-nearest-neighbor lists of every point, by testing
 // all pairs. O(n²·d) time, O(n·k) space.
-func AllKNN(pts []vec.Vec, k int) []*topk.List {
-	lists := make([]*topk.List, len(pts))
-	for i := range pts {
-		lists[i] = topk.New(k)
+func AllKNN(pv []vec.Vec, k int) []*topk.List {
+	if len(pv) == 0 {
+		return make([]*topk.List, 0)
 	}
-	for i := 0; i < len(pts); i++ {
-		for j := i + 1; j < len(pts); j++ {
-			d2 := vec.Dist2(pts[i], pts[j])
+	return AllKNNFlat(pts.FromVecs(pv), k)
+}
+
+// AllKNNFlat is AllKNN over flat contiguous point storage. The returned
+// lists share one arena allocation (topk.NewArena) and the pair loop
+// streams through the backing array.
+func AllKNNFlat(ps *pts.PointSet, k int) []*topk.List {
+	n := ps.N()
+	lists := topk.NewArena(n, k).Lists()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d2 := ps.Dist2(i, j)
 			lists[i].Insert(j, d2)
 			lists[j].Insert(i, d2)
 		}
@@ -46,19 +55,34 @@ func AllKNN(pts []vec.Vec, k int) []*topk.List {
 // identified by idx (indices into pts). The returned lists are indexed
 // positionally like idx and contain *global* point indices, which is the
 // form the divide and conquer's base case needs.
-func AllKNNSubset(pts []vec.Vec, idx []int, k int) []*topk.List {
+func AllKNNSubset(pv []vec.Vec, idx []int, k int) []*topk.List {
 	lists := make([]*topk.List, len(idx))
 	for i := range idx {
 		lists[i] = topk.New(k)
 	}
 	for a := 0; a < len(idx); a++ {
 		for b := a + 1; b < len(idx); b++ {
-			d2 := vec.Dist2(pts[idx[a]], pts[idx[b]])
+			d2 := vec.Dist2(pv[idx[a]], pv[idx[b]])
 			lists[a].Insert(idx[b], d2)
 			lists[b].Insert(idx[a], d2)
 		}
 	}
 	return lists
+}
+
+// AllKNNSubsetInto tests all pairs of the subset identified by idx and
+// offers each pair to the points' existing global lists: the divide and
+// conquer's base case, writing directly into the arena-allocated lists
+// instead of allocating fresh ones. Pair order matches AllKNNSubset, so
+// the resulting list contents are identical.
+func AllKNNSubsetInto(ps *pts.PointSet, idx []int, lists []*topk.List) {
+	for a := 0; a < len(idx); a++ {
+		for b := a + 1; b < len(idx); b++ {
+			d2 := ps.Dist2(idx[a], idx[b])
+			lists[idx[a]].Insert(idx[b], d2)
+			lists[idx[b]].Insert(idx[a], d2)
+		}
+	}
 }
 
 // PointsInBall returns the indices i with |pts[i] − center| ≤ r (closed

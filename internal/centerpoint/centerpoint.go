@@ -13,6 +13,7 @@ package centerpoint
 
 import (
 	"errors"
+	"sync"
 
 	"sepdc/internal/vec"
 	"sepdc/internal/xrand"
@@ -84,6 +85,100 @@ func (o *Options) sampleSize() int {
 	return o.SampleSize
 }
 
+// scratch holds the per-call buffers of Approx: the Radon linear system,
+// its solution, and the survivor storage of the tournament. The buffers
+// are pooled — the divide and conquer calls Approx once per separator
+// trial, and without pooling the iterated Radon dominated the whole
+// algorithm's allocation profile.
+type scratch struct {
+	rows     [][]float64 // (d+1) × (d+2) homogeneous system, row views into rowBuf
+	rowBuf   []float64
+	lambda   []float64 // affine dependence, length d+2
+	pivotCol []int
+	isPivot  []bool
+	work     []int32   // tournament entrants / survivors, as offsets into buf
+	buf      []float64 // entrant + survivor coordinates (bump-allocated)
+	dim      int
+	ss       int
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+func (sc *scratch) ensure(d, ss int) {
+	if sc.dim != d || sc.ss < ss {
+		m, n := d+1, d+2
+		sc.rowBuf = make([]float64, m*n)
+		sc.rows = make([][]float64, m)
+		for r := range sc.rows {
+			sc.rows[r] = sc.rowBuf[r*n : (r+1)*n]
+		}
+		sc.lambda = make([]float64, n)
+		sc.pivotCol = make([]int, 0, m)
+		sc.isPivot = make([]bool, n)
+		sc.work = make([]int32, ss)
+		// Entrants occupy the first ss·d floats; survivors (fewer than
+		// ss/(groupSize−1) of them in total) bump-allocate after that.
+		sc.buf = make([]float64, 2*ss*d)
+		sc.dim, sc.ss = d, ss
+	}
+}
+
+// at returns the point stored at byte offset off (in float64 units) of the
+// scratch coordinate buffer.
+func (sc *scratch) at(off int32) vec.Vec {
+	return vec.Vec(sc.buf[off : int(off)+sc.dim : int(off)+sc.dim])
+}
+
+// radonPointInto is RadonPoint writing into dst using pooled scratch, with
+// arithmetic identical to RadonPoint (same system, same elimination, same
+// accumulation order). group holds the buffer offsets of exactly d+2 points
+// of R^d. Working with offsets rather than []vec.Vec keeps the tournament's
+// shuffles and survivor lists free of pointer writes (and hence of GC write
+// barriers), which were a measurable cost at this call frequency.
+func radonPointInto(sc *scratch, dst vec.Vec, group []int32) error {
+	d := sc.dim
+	for r := 0; r < d; r++ {
+		row := sc.rows[r]
+		for c, off := range group {
+			row[c] = sc.buf[int(off)+r]
+		}
+	}
+	ones := sc.rows[d]
+	for c := range ones {
+		ones[c] = 1
+	}
+	if err := vec.NullVectorInPlace(sc.rows, sc.lambda, sc.pivotCol, sc.isPivot); err != nil {
+		return ErrDegenerate
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	var posSum float64
+	for i, l := range sc.lambda {
+		if l > 0 {
+			vec.AXPY(dst, l, sc.at(group[i]))
+			posSum += l
+		}
+	}
+	if posSum <= 1e-12 {
+		return ErrDegenerate
+	}
+	vec.ScaleTo(dst, 1/posSum, dst)
+	return nil
+}
+
+// centroidInto mirrors vec.CentroidTo over buffer offsets: zero, accumulate
+// in order, scale by 1/n. Bit-identical to the []vec.Vec version.
+func centroidInto(sc *scratch, dst vec.Vec, group []int32) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, off := range group {
+		vec.AXPY(dst, 1, sc.at(off))
+	}
+	vec.ScaleTo(dst, 1/float64(len(group)), dst)
+}
+
 // Approx returns an approximate centerpoint of pts by a Radon tournament
 // (Clarkson–Eppstein–Miller–Sturtivant–Teng): a random sample is shuffled
 // and partitioned into groups of d+2, each group is replaced by its Radon
@@ -92,6 +187,9 @@ func (o *Options) sampleSize() int {
 // groups fall back to their centroid, so the function always returns a
 // finite point; for fully degenerate inputs (all points equal) that is the
 // exact centerpoint.
+//
+// All intermediate storage comes from a pooled scratch arena; only the
+// returned point is freshly allocated (it must outlive the call).
 func Approx(pts []vec.Vec, g *xrand.RNG, opts *Options) vec.Vec {
 	if len(pts) == 0 {
 		panic("centerpoint: empty input")
@@ -102,30 +200,39 @@ func Approx(pts []vec.Vec, g *xrand.RNG, opts *Options) vec.Vec {
 	if ss < groupSize {
 		ss = groupSize
 	}
+	sc := scratchPool.Get().(*scratch)
+	sc.ensure(d, ss)
 	// Sample with replacement: cheap, unbiased, and safe for small inputs.
-	work := make([]vec.Vec, ss)
+	// The sampled coordinates are copied by value into the scratch buffer so
+	// the tournament below only ever moves int32 offsets around.
+	work := sc.work[:ss]
 	for i := range work {
-		work[i] = pts[g.IntN(len(pts))]
+		copy(sc.buf[i*d:(i+1)*d], pts[g.IntN(len(pts))])
+		work[i] = int32(i * d)
 	}
-	tuple := make([]vec.Vec, groupSize)
+	used := ss * d // bump allocator over sc.buf; one Approx never reuses a region
 	for len(work) >= groupSize {
 		g.Shuffle(len(work), func(i, j int) { work[i], work[j] = work[j], work[i] })
 		next := work[:0]
 		for i := 0; i+groupSize <= len(work); i += groupSize {
-			copy(tuple, work[i:i+groupSize])
-			rp, err := RadonPoint(tuple)
-			if err != nil {
-				rp = vec.Centroid(tuple)
+			group := work[i : i+groupSize]
+			rp := vec.Vec(sc.buf[used : used+d : used+d])
+			if err := radonPointInto(sc, rp, group); err != nil {
+				centroidInto(sc, rp, group)
 			}
-			next = append(next, rp)
+			next = append(next, int32(used))
+			used += d
 		}
 		if len(next) == 0 {
 			break
 		}
 		work = next
 	}
-	// Average the handful of deep survivors.
-	return vec.Centroid(work)
+	// Average the handful of deep survivors into the (escaping) result.
+	out := make(vec.Vec, d)
+	centroidInto(sc, out, work)
+	scratchPool.Put(sc)
+	return out
 }
 
 // Depth returns the Tukey depth of c in pts along nDirs random directions:

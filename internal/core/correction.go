@@ -6,6 +6,7 @@ import (
 	"sepdc/internal/geom"
 	"sepdc/internal/march"
 	"sepdc/internal/nbrsys"
+	"sepdc/internal/pts"
 	"sepdc/internal/septree"
 	"sepdc/internal/topk"
 	"sepdc/internal/vec"
@@ -18,7 +19,7 @@ import (
 // exist on its side) has a conceptually unbounded ball and is always
 // included. By Lemma 6.1 these are exactly the balls that can gain a
 // neighbor from the other side.
-func crossing(pts []vec.Vec, lists []*topk.List, side []int, sep geom.Separator, ctx *vm.Ctx) []int {
+func crossing(ps *pts.PointSet, lists []*topk.List, side []int, sep geom.Separator, ctx *vm.Ctx) []int {
 	var out []int
 	for _, i := range side {
 		r2, full := lists[i].Radius2()
@@ -29,7 +30,7 @@ func crossing(pts []vec.Vec, lists []*topk.List, side []int, sep geom.Separator,
 		// Inflate the radius a hair: sqrt rounding must never demote a
 		// crossing ball to interior/exterior (missing a tie candidate).
 		r := math.Sqrt(r2) * (1 + 1e-12)
-		if sep.ClassifyBall(pts[i], r) == geom.Crossing {
+		if sep.ClassifyBall(ps.At(i), r) == geom.Crossing {
 			out = append(out, i)
 		}
 	}
@@ -41,15 +42,15 @@ func crossing(pts []vec.Vec, lists []*topk.List, side []int, sep geom.Separator,
 // lists produce balls with an effectively infinite radius, which the march
 // classifies as crossing everywhere and whose leaf test accepts every
 // point — precisely the needed semantics.
-func ballsOf(pts []vec.Vec, lists []*topk.List, idx []int) []march.Ball {
+func ballsOf(ps *pts.PointSet, lists []*topk.List, idx []int) []march.Ball {
 	balls := make([]march.Ball, len(idx))
 	for j, i := range idx {
 		r2, full := lists[i].Radius2()
 		if !full {
-			balls[j] = march.Ball{ID: i, Center: pts[i], Radius: math.Inf(1), Radius2: math.Inf(1)}
+			balls[j] = march.Ball{ID: i, Center: ps.At(i), Radius: math.Inf(1), Radius2: math.Inf(1)}
 			continue
 		}
-		balls[j] = march.NewBall(i, pts[i], r2)
+		balls[j] = march.NewBall(i, ps.At(i), r2)
 	}
 	return balls
 }
@@ -59,14 +60,14 @@ func ballsOf(pts []vec.Vec, lists []*topk.List, idx []int) []march.Ball {
 // offer every discovered (ball, point) pair to the ball's k-NN list.
 // Returns false when the march aborted on the active-ball limit, in which
 // case no list was modified and the caller must punt.
-func fastCorrect(pts []vec.Vec, lists []*topk.List, cross []int, otherTree *march.PNode,
+func fastCorrect(ps *pts.PointSet, lists []*topk.List, cross []int, otherTree *march.PNode,
 	activeLimit int, opts *Options, ctx *vm.Ctx, tl *tally) bool {
 
 	if len(cross) == 0 || otherTree == nil {
 		return true
 	}
-	balls := ballsOf(pts, lists, cross)
-	hits, st := march.Down(otherTree, pts, balls, activeLimit, ctx)
+	balls := ballsOf(ps, lists, cross)
+	hits, st := march.DownFlat(otherTree, ps, balls, activeLimit, ctx)
 	tl.add(func(s *Stats) {
 		s.Duplications += st.Duplications
 		if st.MaxActive > s.MaxMarchActive {
@@ -80,7 +81,7 @@ func fastCorrect(pts []vec.Vec, lists []*topk.List, cross []int, otherTree *marc
 		return false
 	}
 	for _, h := range hits {
-		lists[h.BallID].Insert(h.Point, vec.Dist2(pts[h.BallID], pts[h.Point]))
+		lists[h.BallID].Insert(h.Point, ps.Dist2(h.BallID, h.Point))
 	}
 	// k-selection of the discovered candidates: one primitive over the hits
 	// (the paper's SCAN-based closest-point selection; O(log log k) steps
@@ -102,7 +103,7 @@ func fastCorrect(pts []vec.Vec, lists []*topk.List, cross []int, otherTree *marc
 // structure cannot hold; they are corrected by direct scan over the other
 // side (there are at most k of them per side in practice, and the scan's
 // cost is charged faithfully).
-func queryCorrect(pts []vec.Vec, lists []*topk.List, cross []int, otherPts []int,
+func queryCorrect(ps *pts.PointSet, lists []*topk.List, cross []int, otherPts []int,
 	g *xrand.RNG, opts *Options, ctx *vm.Ctx, tl *tally) {
 
 	if len(cross) == 0 || len(otherPts) == 0 {
@@ -121,7 +122,7 @@ func queryCorrect(pts []vec.Vec, lists []*topk.List, cross []int, otherPts []int
 	// point as a candidate.
 	for _, i := range unbounded {
 		for _, j := range otherPts {
-			lists[i].Insert(j, vec.Dist2(pts[i], pts[j]))
+			lists[i].Insert(j, ps.Dist2(i, j))
 		}
 	}
 	if len(unbounded) > 0 {
@@ -138,7 +139,7 @@ func queryCorrect(pts []vec.Vec, lists []*topk.List, cross []int, otherPts []int
 	radii := make([]float64, len(finite))
 	for j, i := range finite {
 		r2, _ := lists[i].Radius2()
-		centers[j] = pts[i]
+		centers[j] = ps.At(i)
 		radii[j] = math.Sqrt(r2) * (1 + 1e-12) // inflate: never lose a tie
 	}
 	sys := &nbrsys.System{Centers: centers, Radii: radii}
@@ -148,7 +149,7 @@ func queryCorrect(pts []vec.Vec, lists []*topk.List, cross []int, otherPts []int
 		// direct scan, still exact.
 		for _, i := range finite {
 			for _, j := range otherPts {
-				lists[i].Insert(j, vec.Dist2(pts[i], pts[j]))
+				lists[i].Insert(j, ps.Dist2(i, j))
 			}
 		}
 		ctx.PrimK(len(finite), len(otherPts))
@@ -165,7 +166,7 @@ func queryCorrect(pts []vec.Vec, lists []*topk.List, cross []int, otherPts []int
 	// work = total nodes visited (plus the hits).
 	queries := make([]vec.Vec, len(otherPts))
 	for qi, j := range otherPts {
-		queries[qi] = pts[j]
+		queries[qi] = ps.At(j)
 	}
 	results, cost := tree.QueryBatchClosed(queries, nil)
 	ctx.Charge(cost)
@@ -174,7 +175,7 @@ func queryCorrect(pts []vec.Vec, lists []*topk.List, cross []int, otherPts []int
 		j := otherPts[qi]
 		for _, b := range ballIdx {
 			i := finite[b]
-			lists[i].Insert(j, vec.Dist2(pts[i], pts[j]))
+			lists[i].Insert(j, ps.Dist2(i, j))
 			hits++
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"sepdc/internal/brute"
 	"sepdc/internal/march"
+	"sepdc/internal/pts"
 	"sepdc/internal/separator"
 	"sepdc/internal/topk"
 	"sepdc/internal/vec"
@@ -13,26 +14,59 @@ import (
 	"sepdc/internal/xrand"
 )
 
-// SphereDNC computes the exact k-nearest-neighbor lists of pts with the
+// SphereDNC computes the exact k-nearest-neighbor lists of pv with the
 // paper's Section-6 algorithm: sphere-separator divide and conquer with
 // Fast Correction and punting. See the package comment for the outline.
-func SphereDNC(pts []vec.Vec, g *xrand.RNG, opts *Options) (*Result, error) {
-	return run(pts, g, opts, sphereSplit)
+// It is a validating wrapper over SphereDNCFlat.
+func SphereDNC(pv []vec.Vec, g *xrand.RNG, opts *Options) (*Result, error) {
+	ps, err := validate(pv)
+	if err != nil {
+		return nil, err
+	}
+	return SphereDNCFlat(ps, g, opts)
+}
+
+// SphereDNCFlat is SphereDNC over flat contiguous point storage — the hot
+// entry point. Points must be finite and are not modified.
+func SphereDNCFlat(ps *pts.PointSet, g *xrand.RNG, opts *Options) (*Result, error) {
+	return run(ps, g, opts, sphereSplit)
 }
 
 // HyperplaneDNC computes the same lists with the Section-5 baseline:
 // median-hyperplane splits and query-structure correction at every node.
-func HyperplaneDNC(pts []vec.Vec, g *xrand.RNG, opts *Options) (*Result, error) {
-	return run(pts, g, opts, hyperplaneSplit)
+func HyperplaneDNC(pv []vec.Vec, g *xrand.RNG, opts *Options) (*Result, error) {
+	ps, err := validate(pv)
+	if err != nil {
+		return nil, err
+	}
+	return HyperplaneDNCFlat(ps, g, opts)
+}
+
+// HyperplaneDNCFlat is HyperplaneDNC over flat contiguous point storage.
+func HyperplaneDNCFlat(ps *pts.PointSet, g *xrand.RNG, opts *Options) (*Result, error) {
+	return run(ps, g, opts, hyperplaneSplit)
+}
+
+func validate(pv []vec.Vec) (*pts.PointSet, error) {
+	if len(pv) == 0 {
+		return nil, errors.New("core: no points")
+	}
+	for _, p := range pv {
+		if len(p) != len(pv[0]) || !vec.IsFinite(p) {
+			return nil, errors.New("core: points must be finite and share one dimension")
+		}
+	}
+	return pts.FromVecs(pv), nil
 }
 
 // splitFunc produces a separator for a subproblem, reporting the trial
-// count and whether corrections must always take the query path. depth is
-// the recursion depth, which Bentley's rule uses to cycle dimensions.
-type splitFunc func(centers []vec.Vec, depth int, g *xrand.RNG, opts *Options) (sep separator.Result, alwaysQuery bool, err error)
+// count and whether corrections must always take the query path. sub is
+// the node's gathered (contiguous) subset; depth is the recursion depth,
+// which Bentley's rule uses to cycle dimensions.
+type splitFunc func(sub *pts.PointSet, depth int, g *xrand.RNG, opts *Options) (sep separator.Result, alwaysQuery bool, err error)
 
-func sphereSplit(centers []vec.Vec, _ int, g *xrand.RNG, opts *Options) (separator.Result, bool, error) {
-	res, err := separator.FindGood(centers, g, opts.sep())
+func sphereSplit(sub *pts.PointSet, _ int, g *xrand.RNG, opts *Options) (separator.Result, bool, error) {
+	res, err := separator.FindGoodFlat(sub, g, opts.sep())
 	return res, false, err
 }
 
@@ -42,73 +76,65 @@ func sphereSplit(centers []vec.Vec, _ int, g *xrand.RNG, opts *Options) (separat
 // baseline can be forced to cross Ω(n) balls by inputs concentrated along
 // a cutting hyperplane. When the cycled dimension has zero spread the
 // widest-dimension median is used so the recursion still progresses.
-func hyperplaneSplit(centers []vec.Vec, depth int, g *xrand.RNG, opts *Options) (separator.Result, bool, error) {
-	d := len(centers[0])
-	sep, err := separator.FixedHyperplane(centers, depth%d)
+func hyperplaneSplit(sub *pts.PointSet, depth int, g *xrand.RNG, opts *Options) (separator.Result, bool, error) {
+	d := sub.Dim
+	sep, err := separator.FixedHyperplaneFlat(sub, depth%d)
 	if err != nil {
-		sep, err = separator.MedianHyperplane(centers)
+		sep, err = separator.MedianHyperplaneFlat(sub)
 		if err != nil {
 			return separator.Result{}, true, err
 		}
 	}
-	res := separator.Result{Sep: sep, Stats: separator.Evaluate(sep, centers), Trials: 1}
+	res := separator.Result{Sep: sep, Stats: separator.EvaluateFlat(sep, sub), Trials: 1}
 	return res, true, nil
 }
 
-func run(pts []vec.Vec, g *xrand.RNG, opts *Options, split splitFunc) (*Result, error) {
-	if len(pts) == 0 {
+func run(ps *pts.PointSet, g *xrand.RNG, opts *Options, split splitFunc) (*Result, error) {
+	n := ps.N()
+	if n == 0 {
 		return nil, errors.New("core: no points")
 	}
-	for _, p := range pts {
-		if len(p) != len(pts[0]) || !vec.IsFinite(p) {
-			return nil, errors.New("core: points must be finite and share one dimension")
-		}
-	}
 	k := opts.k()
-	lists := make([]*topk.List, len(pts))
-	for i := range lists {
-		lists[i] = topk.New(k)
-	}
-	idx := make([]int, len(pts))
+	// One arena allocation backs every point's k-NN list; the recursion's
+	// base cases and corrections insert into the lists in place.
+	lists := topk.NewArena(n, k).Lists()
+	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
 	tl := &tally{}
 	ctx := opts.machine().NewCtx()
-	base := opts.baseSize(len(pts))
-	tree := rec(pts, idx, lists, 0, g, opts, split, base, ctx, tl)
+	base := opts.baseSize(n)
+	tree := rec(ps, idx, lists, 0, g, opts, split, base, ctx, tl)
 	tl.s.Cost = ctx.Cost()
 	return &Result{Lists: lists, Tree: tree, Stats: tl.s}, nil
 }
 
-func rec(pts []vec.Vec, idx []int, lists []*topk.List, depth int, g *xrand.RNG, opts *Options,
+// baseCase brute-forces the subset into the points' own lists: the paper's
+// "deterministically compute the neighborhood system in m time using m
+// processors by testing all pairs" (Section 6.1).
+func baseCase(ps *pts.PointSet, idx []int, lists []*topk.List, opts *Options, ctx *vm.Ctx, tl *tally) *march.PNode {
+	brute.AllKNNSubsetInto(ps, idx, lists)
+	ctx.PrimK(len(idx), len(idx))
+	tl.add(func(s *Stats) { s.BaseCases++ })
+	return &march.PNode{Pts: idx}
+}
+
+func rec(ps *pts.PointSet, idx []int, lists []*topk.List, depth int, g *xrand.RNG, opts *Options,
 	split splitFunc, base int, ctx *vm.Ctx, tl *tally) *march.PNode {
 
 	m := len(idx)
 	if m <= base {
-		// Base case: "deterministically compute the neighborhood system in
-		// m time using m processors by testing all pairs" (Section 6.1).
-		for i, l := range brute.AllKNNSubset(pts, idx, opts.k()) {
-			lists[idx[i]] = l
-		}
-		ctx.PrimK(m, m)
-		tl.add(func(s *Stats) { s.BaseCases++ })
-		return &march.PNode{Pts: idx}
+		return baseCase(ps, idx, lists, opts, ctx, tl)
 	}
 
-	centers := make([]vec.Vec, m)
-	for i, j := range idx {
-		centers[i] = pts[j]
-	}
-	res, alwaysQuery, err := split(centers, depth, g.Split(), opts)
+	// The divide step materializes the node's subset contiguously: one
+	// gather, after which every separator trial streams cache-friendly.
+	sub := ps.Gather(idx)
+	res, alwaysQuery, err := split(sub, depth, g.Split(), opts)
 	if err != nil {
 		// Unsplittable subset (all points identical): brute force it.
-		for i, l := range brute.AllKNNSubset(pts, idx, opts.k()) {
-			lists[idx[i]] = l
-		}
-		ctx.PrimK(m, m)
-		tl.add(func(s *Stats) { s.BaseCases++ })
-		return &march.PNode{Pts: idx}
+		return baseCase(ps, idx, lists, opts, ctx, tl)
 	}
 	tl.add(func(s *Stats) {
 		s.Nodes++
@@ -122,7 +148,7 @@ func rec(pts []vec.Vec, idx []int, lists []*topk.List, depth int, g *xrand.RNG, 
 	// Partition the points: interior side takes Side <= 0.
 	var inIdx, exIdx []int
 	for _, j := range idx {
-		if res.Sep.Side(pts[j]) <= 0 {
+		if res.Sep.Side(ps.At(j)) <= 0 {
 			inIdx = append(inIdx, j)
 		} else {
 			exIdx = append(exIdx, j)
@@ -132,30 +158,25 @@ func rec(pts []vec.Vec, idx []int, lists []*topk.List, depth int, g *xrand.RNG, 
 	if len(inIdx) == 0 || len(exIdx) == 0 {
 		// A vacuous split (possible for hyperplanes on pathological data):
 		// brute force rather than recurse without progress.
-		for i, l := range brute.AllKNNSubset(pts, idx, opts.k()) {
-			lists[idx[i]] = l
-		}
-		ctx.PrimK(m, m)
-		tl.add(func(s *Stats) { s.BaseCases++ })
-		return &march.PNode{Pts: idx}
+		return baseCase(ps, idx, lists, opts, ctx, tl)
 	}
 
 	// Recurse on the two sides in parallel.
 	node := &march.PNode{Sep: res.Sep}
 	gl, gr := g.Split(), g.Split()
 	ctx.Fork(
-		func(c *vm.Ctx) { node.Left = rec(pts, inIdx, lists, depth+1, gl, opts, split, base, c, tl) },
-		func(c *vm.Ctx) { node.Right = rec(pts, exIdx, lists, depth+1, gr, opts, split, base, c, tl) },
+		func(c *vm.Ctx) { node.Left = rec(ps, inIdx, lists, depth+1, gl, opts, split, base, c, tl) },
+		func(c *vm.Ctx) { node.Right = rec(ps, exIdx, lists, depth+1, gr, opts, split, base, c, tl) },
 	)
 
 	// Correction phase (Section 6.1's Correction / Section 5's step 3).
-	crossIn := crossing(pts, lists, inIdx, res.Sep, ctx)
-	crossEx := crossing(pts, lists, exIdx, res.Sep, ctx)
+	crossIn := crossing(ps, lists, inIdx, res.Sep, ctx)
+	crossEx := crossing(ps, lists, exIdx, res.Sep, ctx)
 
 	gq := g.Split()
 	if alwaysQuery {
-		queryCorrect(pts, lists, crossIn, exIdx, gq, opts, ctx, tl)
-		queryCorrect(pts, lists, crossEx, inIdx, gq, opts, ctx, tl)
+		queryCorrect(ps, lists, crossIn, exIdx, gq, opts, ctx, tl)
+		queryCorrect(ps, lists, crossEx, inIdx, gq, opts, ctx, tl)
 		return node
 	}
 
@@ -164,21 +185,21 @@ func rec(pts []vec.Vec, idx []int, lists []*topk.List, depth int, g *xrand.RNG, 
 	threshold := math.Pow(float64(m), opts.mu())
 	if float64(len(crossIn)+len(crossEx)) >= threshold {
 		tl.add(func(s *Stats) { s.ThresholdPunts++ })
-		queryCorrect(pts, lists, crossIn, exIdx, gq, opts, ctx, tl)
-		queryCorrect(pts, lists, crossEx, inIdx, gq, opts, ctx, tl)
+		queryCorrect(ps, lists, crossIn, exIdx, gq, opts, ctx, tl)
+		queryCorrect(ps, lists, crossEx, inIdx, gq, opts, ctx, tl)
 		return node
 	}
 
 	// Fast Correction, each direction independently; an aborted march
 	// punts only its own direction.
 	activeLimit := int(opts.activeFactor()*threshold*math.Log2(float64(m))) + 16
-	if !fastCorrect(pts, lists, crossIn, node.Right, activeLimit, opts, ctx, tl) {
+	if !fastCorrect(ps, lists, crossIn, node.Right, activeLimit, opts, ctx, tl) {
 		tl.add(func(s *Stats) { s.MarchAborts++ })
-		queryCorrect(pts, lists, crossIn, exIdx, gq, opts, ctx, tl)
+		queryCorrect(ps, lists, crossIn, exIdx, gq, opts, ctx, tl)
 	}
-	if !fastCorrect(pts, lists, crossEx, node.Left, activeLimit, opts, ctx, tl) {
+	if !fastCorrect(ps, lists, crossEx, node.Left, activeLimit, opts, ctx, tl) {
 		tl.add(func(s *Stats) { s.MarchAborts++ })
-		queryCorrect(pts, lists, crossEx, inIdx, gq, opts, ctx, tl)
+		queryCorrect(ps, lists, crossEx, inIdx, gq, opts, ctx, tl)
 	}
 	return node
 }

@@ -26,14 +26,20 @@ import (
 // Lift maps x ∈ R^d to the unit sphere S^d ⊂ R^{d+1} by inverse
 // stereographic projection from the north pole.
 func Lift(x vec.Vec) vec.Vec {
+	return LiftTo(make(vec.Vec, len(x)+1), x)
+}
+
+// LiftTo is Lift into caller-provided storage: dst must have length
+// len(x)+1 and must not alias x. It is the allocation-free form for the
+// separator's per-trial sample loop.
+func LiftTo(dst, x vec.Vec) vec.Vec {
 	n2 := vec.Norm2(x)
 	denom := n2 + 1
-	z := make(vec.Vec, len(x)+1)
 	for i, v := range x {
-		z[i] = 2 * v / denom
+		dst[i] = 2 * v / denom
 	}
-	z[len(x)] = (n2 - 1) / denom
-	return z
+	dst[len(x)] = (n2 - 1) / denom
+	return dst
 }
 
 // Unlift maps z ∈ S^d back to R^d by stereographic projection from the

@@ -10,14 +10,16 @@ import (
 	"sort"
 
 	"sepdc/internal/geom"
+	"sepdc/internal/pts"
 	"sepdc/internal/topk"
 	"sepdc/internal/vec"
 )
 
-// Tree is an immutable kd-tree over a point set. It stores indices into the
-// caller's point slice; the points themselves are not copied.
+// Tree is an immutable kd-tree over a point set. It stores indices into
+// flat contiguous point storage (package pts); building from []vec.Vec
+// flattens once up front.
 type Tree struct {
-	pts   []vec.Vec
+	ps    *pts.PointSet
 	root  *node
 	size  int
 	leafC int // leaf capacity used at build time
@@ -38,19 +40,31 @@ type node struct {
 // DefaultLeafSize is the leaf capacity below which brute force takes over.
 const DefaultLeafSize = 16
 
-// Build constructs a kd-tree over pts with the default leaf size.
-func Build(pts []vec.Vec) *Tree { return BuildLeaf(pts, DefaultLeafSize) }
+// Build constructs a kd-tree over pv with the default leaf size.
+func Build(pv []vec.Vec) *Tree { return BuildLeaf(pv, DefaultLeafSize) }
 
-// BuildLeaf constructs a kd-tree with the given leaf capacity.
-func BuildLeaf(pts []vec.Vec, leafSize int) *Tree {
+// BuildLeaf constructs a kd-tree with the given leaf capacity, flattening
+// the points into contiguous storage first.
+func BuildLeaf(pv []vec.Vec, leafSize int) *Tree {
+	if len(pv) == 0 {
+		return &Tree{leafC: max(leafSize, 1)}
+	}
+	return BuildFlat(pts.FromVecs(pv), leafSize)
+}
+
+// BuildFlat constructs a kd-tree directly over flat contiguous point
+// storage. The PointSet is referenced, not copied; it must not be mutated
+// while the tree is in use.
+func BuildFlat(ps *pts.PointSet, leafSize int) *Tree {
 	if leafSize < 1 {
 		leafSize = 1
 	}
-	t := &Tree{pts: pts, size: len(pts), leafC: leafSize}
-	if len(pts) == 0 {
+	n := ps.N()
+	t := &Tree{ps: ps, size: n, leafC: leafSize}
+	if n == 0 {
 		return t
 	}
-	idx := make([]int, len(pts))
+	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
@@ -58,12 +72,11 @@ func BuildLeaf(pts []vec.Vec, leafSize int) *Tree {
 	return t
 }
 
+// coord returns coordinate dim of point j without materializing a view.
+func (t *Tree) coord(j, dim int) float64 { return t.ps.Data[j*t.ps.Dim+dim] }
+
 func (t *Tree) build(idx []int) *node {
-	sub := make([]vec.Vec, len(idx))
-	for i, j := range idx {
-		sub[i] = t.pts[j]
-	}
-	b := geom.NewBounds(sub)
+	b := geom.NewBoundsIdx(t.ps, idx)
 	if len(idx) <= t.leafC {
 		return &node{bounds: b, idx: idx}
 	}
@@ -71,15 +84,15 @@ func (t *Tree) build(idx []int) *node {
 	// Median split by nth-element semantics; a full sort keeps the code
 	// simple and the build is O(n log² n), irrelevant next to query cost.
 	sort.Slice(idx, func(a, c int) bool {
-		pa, pc := t.pts[idx[a]], t.pts[idx[c]]
-		if pa[dim] != pc[dim] {
-			return pa[dim] < pc[dim]
+		ca, cc := t.coord(idx[a], dim), t.coord(idx[c], dim)
+		if ca != cc {
+			return ca < cc
 		}
 		return idx[a] < idx[c] // deterministic total order
 	})
 	mid := len(idx) / 2
 	// Keep equal coordinates on one side to guarantee progress.
-	for mid < len(idx)-1 && t.pts[idx[mid]][dim] == t.pts[idx[mid-1]][dim] {
+	for mid < len(idx)-1 && t.coord(idx[mid], dim) == t.coord(idx[mid-1], dim) {
 		mid++
 	}
 	if mid == len(idx) {
@@ -87,7 +100,7 @@ func (t *Tree) build(idx []int) *node {
 		// plain halving split (points may be fully duplicated).
 		mid = len(idx) / 2
 	}
-	n := &node{dim: dim, split: t.pts[idx[mid-1]][dim], bounds: b}
+	n := &node{dim: dim, split: t.coord(idx[mid-1], dim), bounds: b}
 	n.left = t.build(append([]int(nil), idx[:mid]...))
 	n.right = t.build(append([]int(nil), idx[mid:]...))
 	return n
@@ -115,7 +128,7 @@ func (t *Tree) knn(n *node, q vec.Vec, self int, l *topk.List) {
 			if j == self {
 				continue
 			}
-			l.Insert(j, vec.Dist2(q, t.pts[j]))
+			l.Insert(j, vec.Dist2Flat(q, t.ps.At(j)))
 		}
 		return
 	}
@@ -129,11 +142,14 @@ func (t *Tree) knn(n *node, q vec.Vec, self int, l *topk.List) {
 }
 
 // AllKNN computes the k-NN lists of all indexed points sequentially. This
-// is the sequential-work comparator: one kd-tree query per point.
+// is the sequential-work comparator: one kd-tree query per point. The
+// lists share one arena allocation.
 func (t *Tree) AllKNN(k int) []*topk.List {
-	out := make([]*topk.List, t.size)
+	out := topk.NewArena(t.size, k).Lists()
 	for i := 0; i < t.size; i++ {
-		out[i] = t.KNN(t.pts[i], k, i)
+		if t.root != nil {
+			t.knn(t.root, t.ps.At(i), i, out[i])
+		}
 	}
 	return out
 }
@@ -156,7 +172,7 @@ func (t *Tree) InBall(center vec.Vec, r float64, self int) []int {
 				if j == self {
 					continue
 				}
-				if vec.Dist2(center, t.pts[j]) <= r2 {
+				if t.ps.Dist2To(j, center) <= r2 {
 					out = append(out, j)
 				}
 			}

@@ -11,6 +11,7 @@ package knngraph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"sepdc/internal/topk"
@@ -26,40 +27,67 @@ type Graph struct {
 	Directed [][]topk.Neighbor // the underlying k-NN lists (out-neighbors)
 }
 
-// FromLists builds the symmetrized k-NN graph per Definition 1.1.
+// FromLists builds the symmetrized k-NN graph per Definition 1.1, by the
+// scan-style recipe the paper alludes to: count both directions of every
+// list edge, bucket them into per-vertex rows with one prefix sum, then
+// sort and deduplicate each (O(k)-sized) row in place. Everything lives in
+// a handful of flat arrays — no per-vertex maps or row allocations.
 func FromLists(lists []*topk.List, k int) *Graph {
 	n := len(lists)
-	adj := make([]map[int32]struct{}, n)
-	for i := range adj {
-		adj[i] = make(map[int32]struct{}, 2*k)
+	// Directed lists, copied into one flat backing array. The capacity is
+	// exact, so the per-vertex views never move.
+	m := 0
+	for _, l := range lists {
+		m += l.Len()
 	}
+	flat := make([]topk.Neighbor, 0, m)
 	directed := make([][]topk.Neighbor, n)
+	// deg counts each row's entries including duplicates (out + in edges).
+	deg := make([]int32, n)
 	for i, l := range lists {
 		items := l.Items()
-		directed[i] = append([]topk.Neighbor(nil), items...)
+		off := len(flat)
+		flat = append(flat, items...)
+		directed[i] = flat[off:len(flat):len(flat)]
 		for _, nb := range items {
 			if nb.Idx == i {
 				continue // defensive: no self-loops
 			}
-			adj[i][int32(nb.Idx)] = struct{}{}
-			adj[nb.Idx][int32(i)] = struct{}{}
+			deg[i]++
+			deg[nb.Idx]++
+		}
+	}
+	start := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		start[i+1] = start[i] + deg[i]
+	}
+	buf := make([]int32, start[n])
+	pos := deg // reuse: becomes the per-row write cursor
+	copy(pos, start[:n])
+	for i, l := range lists {
+		for _, nb := range l.Items() {
+			if nb.Idx == i {
+				continue
+			}
+			buf[pos[i]] = int32(nb.Idx)
+			pos[i]++
+			buf[pos[nb.Idx]] = int32(i)
+			pos[nb.Idx]++
 		}
 	}
 	g := &Graph{N: n, K: k, Directed: directed}
 	g.RowPtr = make([]int32, n+1)
-	total := 0
-	for i := range adj {
-		total += len(adj[i])
-	}
-	g.ColIdx = make([]int32, 0, total)
-	for i := range adj {
-		g.RowPtr[i] = int32(len(g.ColIdx))
-		row := make([]int32, 0, len(adj[i]))
-		for j := range adj[i] {
-			row = append(row, j)
+	g.ColIdx = make([]int32, 0, start[n])
+	for v := 0; v < n; v++ {
+		row := buf[start[v]:start[v+1]]
+		slices.Sort(row)
+		g.RowPtr[v] = int32(len(g.ColIdx))
+		for i, j := range row {
+			if i > 0 && j == row[i-1] {
+				continue
+			}
+			g.ColIdx = append(g.ColIdx, j)
 		}
-		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
-		g.ColIdx = append(g.ColIdx, row...)
 	}
 	g.RowPtr[n] = int32(len(g.ColIdx))
 	return g

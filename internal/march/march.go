@@ -33,6 +33,7 @@ import (
 	"math"
 
 	"sepdc/internal/geom"
+	"sepdc/internal/pts"
 	"sepdc/internal/vec"
 	"sepdc/internal/vm"
 )
@@ -120,17 +121,29 @@ type Hit struct {
 // each a unit-time vector primitive on the paper's machine.
 const marchSteps = 4
 
-// Down marches balls down the partition tree rooted at root. For every
+// Down marches balls down the partition tree rooted at root. It is a
+// converting wrapper over DownFlat for []vec.Vec call sites.
+func Down(root *PNode, pv []vec.Vec, balls []Ball, activeLimit int, ctx *vm.Ctx) ([]Hit, Stats) {
+	if root == nil || len(balls) == 0 {
+		return nil, Stats{}
+	}
+	return DownFlat(root, pts.FromVecs(pv), balls, activeLimit, ctx)
+}
+
+// DownFlat marches balls down the partition tree rooted at root. For every
 // ball, every reachable leaf is scanned and the points lying in the closed
 // ball are reported as hits. activeLimit aborts the march when the number
 // of active pairs at some level exceeds it (pass 0 for unlimited); on
 // abort the returned hits are nil and Stats.Aborted is set — the caller
 // must fall back to the query-structure correction (the paper's punt).
 //
+// The point set is the flat contiguous storage of package pts; the leaf
+// scans stream through its backing array without per-point indirection.
+//
 // The simulated cost charged to ctx follows Lemma 6.3: each level is a
 // constant number of vector primitives whose width is the level's active
 // pair count; the leaf scans charge one primitive per scanned point.
-func Down(root *PNode, pts []vec.Vec, balls []Ball, activeLimit int, ctx *vm.Ctx) ([]Hit, Stats) {
+func DownFlat(root *PNode, ps *pts.PointSet, balls []Ball, activeLimit int, ctx *vm.Ctx) ([]Hit, Stats) {
 	var st Stats
 	if root == nil || len(balls) == 0 {
 		return nil, st
@@ -171,7 +184,7 @@ func Down(root *PNode, pts []vec.Vec, balls []Ball, activeLimit int, ctx *vm.Ctx
 				leafWork += len(n.Pts)
 				r2 := b.Radius2
 				for _, p := range n.Pts {
-					if vec.Dist2(pts[p], b.Center) <= r2 {
+					if ps.Dist2To(p, b.Center) <= r2 {
 						hits = append(hits, Hit{BallID: b.ID, Point: p})
 					}
 				}

@@ -1,0 +1,112 @@
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunExecutesAll(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var count atomic.Int64
+	fns := make([]func(), 100)
+	for i := range fns {
+		fns[i] = func() { count.Add(1) }
+	}
+	p.Run(fns...)
+	if count.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", count.Load())
+	}
+}
+
+func TestParallelRangeCovers(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	for _, n := range []int{0, 1, 2, 7, 1000} {
+		seen := make([]atomic.Bool, n)
+		p.ParallelRange(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if seen[i].Swap(true) {
+					t.Errorf("index %d visited twice", i)
+				}
+			}
+		})
+		for i := range seen {
+			if !seen[i].Load() {
+				t.Fatalf("n=%d: index %d not visited", n, i)
+			}
+		}
+	}
+}
+
+func TestNilPoolParallelRangeRunsInline(t *testing.T) {
+	var p *Pool
+	total := 0
+	p.ParallelRange(10, func(lo, hi int) { total += hi - lo })
+	if total != 10 {
+		t.Fatalf("covered %d, want 10", total)
+	}
+}
+
+// TestNestedRunNoDeadlock is the regression test for the non-blocking
+// submit rule: fork-join recursion from inside workers must complete even
+// when the recursion is much deeper than the worker count.
+func TestNestedRunNoDeadlock(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var leaves atomic.Int64
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == 0 {
+			leaves.Add(1)
+			return
+		}
+		p.Run(func() { rec(depth - 1) }, func() { rec(depth - 1) })
+	}
+	rec(10)
+	if leaves.Load() != 1024 {
+		t.Fatalf("reached %d leaves, want 1024", leaves.Load())
+	}
+}
+
+// TestSoakConcurrentUse hammers one pool from many goroutines; run under
+// -race this is the worker-pool soak the persistent-pool change requires.
+func TestSoakConcurrentUse(t *testing.T) {
+	p := New(runtime.GOMAXPROCS(0))
+	defer p.Close()
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				sum := make([]int64, 64)
+				p.ParallelRange(len(sum), func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						sum[i] = int64(i)
+					}
+				})
+				var s int64
+				for _, x := range sum {
+					s += x
+				}
+				total.Add(s)
+			}
+		}()
+	}
+	wg.Wait()
+	if want := int64(8 * 200 * (63 * 64 / 2)); total.Load() != want {
+		t.Fatalf("total %d, want %d", total.Load(), want)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := New(1)
+	p.Close()
+	p.Close()
+	// After close, TrySubmit must not panic; it may or may not accept.
+	p.TrySubmit(func() {})
+}

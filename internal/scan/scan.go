@@ -14,6 +14,8 @@ import (
 	"math"
 	"runtime"
 	"sync"
+
+	"sepdc/internal/pool"
 )
 
 // parallelThreshold is the input size below which the parallel variants
@@ -58,6 +60,11 @@ func Reduce[T any](xs []T, op func(T, T) T, id T) T {
 // pass 1 reduces each chunk, a serial scan combines chunk sums, and pass 2
 // scans each chunk seeded with its offset. Results are bit-identical to the
 // sequential scan whenever op is associative over the inputs.
+//
+// Both passes run on the process-wide persistent worker pool
+// (pool.Shared()) rather than freshly spawned goroutines, so repeated
+// scans — the common case inside the divide and conquer — pay one channel
+// send per chunk instead of a goroutine spawn.
 func ExclusiveParallel[T any](xs []T, op func(T, T) T, id T) []T {
 	n := len(xs)
 	if n < parallelThreshold {
@@ -69,43 +76,53 @@ func ExclusiveParallel[T any](xs []T, op func(T, T) T, id T) []T {
 	}
 	chunk := (n + workers - 1) / workers
 	sums := make([]T, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, min((w+1)*chunk, n)
-		if lo >= hi {
-			sums[w] = id
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			acc := id
-			for _, x := range xs[lo:hi] {
-				acc = op(acc, x)
-			}
-			sums[w] = acc
-		}(w, lo, hi)
+	for w := range sums {
+		sums[w] = id // tail chunks may be empty; their sum is the identity
 	}
-	wg.Wait()
+	runChunks(workers, chunk, n, func(w, lo, hi int) {
+		acc := id
+		for _, x := range xs[lo:hi] {
+			acc = op(acc, x)
+		}
+		sums[w] = acc
+	})
 	offsets := Exclusive(sums, op, id)
 	out := make([]T, n)
-	for w := 0; w < workers; w++ {
+	runChunks(workers, chunk, n, func(w, lo, hi int) {
+		acc := offsets[w]
+		for i := lo; i < hi; i++ {
+			out[i] = acc
+			acc = op(acc, xs[i])
+		}
+	})
+	return out
+}
+
+// runChunks executes fn(w, lo, hi) for each of the workers' chunk ranges,
+// offering every chunk but the last to the shared pool and running the
+// rest inline. It returns when all chunks are done.
+func runChunks(workers, chunk, n int, fn func(w, lo, hi int)) {
+	p := pool.Shared()
+	var wg sync.WaitGroup
+	for w := 0; w < workers-1; w++ {
 		lo, hi := w*chunk, min((w+1)*chunk, n)
 		if lo >= hi {
 			continue
 		}
+		w := w
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		task := func() {
 			defer wg.Done()
-			acc := offsets[w]
-			for i := lo; i < hi; i++ {
-				out[i] = acc
-				acc = op(acc, xs[i])
-			}
-		}(w, lo, hi)
+			fn(w, lo, hi)
+		}
+		if !p.TrySubmit(task) {
+			task()
+		}
+	}
+	if lo, hi := (workers-1)*chunk, n; lo < hi {
+		fn(workers-1, lo, hi)
 	}
 	wg.Wait()
-	return out
 }
 
 // PlusScanInt is the workhorse +‑scan on ints (exclusive).

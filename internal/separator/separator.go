@@ -21,6 +21,13 @@
 // δ-splits the points with constant probability; FindGood retries until
 // one does, and the number of trials is the quantity the paper's
 // Bernoulli/punting analysis charges for.
+//
+// The trial-scoring hot path operates on flat contiguous point storage
+// (package pts): the divide and conquer hands each recursion node's subset
+// over as one gathered PointSet, the per-trial sample is normalized and
+// lifted into a pooled scratch arena, and Evaluate streams through the
+// backing array — no per-point allocation anywhere in the loop. The
+// []vec.Vec entry points remain as converting wrappers.
 package separator
 
 import (
@@ -28,9 +35,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"sepdc/internal/centerpoint"
 	"sepdc/internal/geom"
+	"sepdc/internal/pts"
 	"sepdc/internal/vec"
 	"sepdc/internal/xrand"
 )
@@ -83,36 +92,63 @@ func (o *Options) maxTrials(n int) int {
 	return 64
 }
 
+// candScratch holds the per-trial buffers of CandidateFlat: the subset
+// centroid, one normalization temporary, and the lifted sample (flat
+// (d+1)-stride storage plus its views). Pooled so that the recursion's
+// many trials reuse a handful of arenas instead of allocating per point.
+type candScratch struct {
+	centroid vec.Vec
+	q        vec.Vec
+	lifted   []float64
+	views    []vec.Vec
+}
+
+var candPool = sync.Pool{New: func() any { return &candScratch{} }}
+
+// acquire returns a scratch arena sized for dimension d and sampleN lifted
+// points; buffers grow monotonically and are reused across trials.
+func acquireScratch(d, sampleN int) *candScratch {
+	sc := candPool.Get().(*candScratch)
+	if cap(sc.centroid) < d {
+		sc.centroid = make(vec.Vec, d)
+		sc.q = make(vec.Vec, d)
+	}
+	sc.centroid = sc.centroid[:d]
+	sc.q = sc.q[:d]
+	if need := sampleN * (d + 1); cap(sc.lifted) < need {
+		sc.lifted = make([]float64, need)
+	}
+	if cap(sc.views) < sampleN {
+		sc.views = make([]vec.Vec, sampleN)
+	}
+	sc.views = sc.views[:sampleN]
+	for i := range sc.views {
+		o := i * (d + 1)
+		sc.views[i] = vec.Vec(sc.lifted[o : o+d+1 : o+d+1])
+	}
+	return sc
+}
+
 // Candidate runs one trial of the Unit Time Separator Algorithm and
 // returns the produced separator without judging its quality.
-func Candidate(pts []vec.Vec, g *xrand.RNG, opts *Options) (geom.Separator, error) {
-	if len(pts) == 0 {
+func Candidate(pv []vec.Vec, g *xrand.RNG, opts *Options) (geom.Separator, error) {
+	if len(pv) == 0 {
 		return nil, errors.New("separator: no points")
 	}
-	d := len(pts[0])
+	return CandidateFlat(pts.FromVecs(pv), g, opts)
+}
 
-	// Step 0: translate the centroid to the origin and rescale to unit RMS
-	// radius before lifting. Without this, a subset occupying a tiny region
-	// (as deep divide-and-conquer subproblems do) lifts to a tiny spherical
-	// cap, its centerpoint hugs the sphere surface, and the conformal map
-	// degenerates — the success probability of a trial would collapse with
-	// depth. The transform is undone on the resulting separator, so callers
-	// see original coordinates.
-	centroid := vec.Centroid(pts)
-	var rms float64
-	for _, p := range pts {
-		rms += vec.Dist2(p, centroid)
+// CandidateFlat is Candidate on flat contiguous point storage — the form
+// the divide and conquer calls with each node's gathered subset. The
+// sample normalization and lift run in a pooled scratch arena, so a trial
+// performs no per-point heap allocation.
+func CandidateFlat(ps *pts.PointSet, g *xrand.RNG, opts *Options) (geom.Separator, error) {
+	n := ps.N()
+	if n == 0 {
+		return nil, errors.New("separator: no points")
 	}
-	rms = math.Sqrt(rms / float64(len(pts)))
-	if rms < 1e-300 {
-		return nil, errors.New("separator: all points coincide")
-	}
-	normalize := func(p vec.Vec) vec.Vec {
-		q := vec.Sub(p, centroid)
-		return vec.ScaleTo(q, 1/rms, q)
-	}
+	d := ps.Dim
 
-	// Step 1–2: centerpoint of a sample of lifted points.
 	cpOpts := &centerpoint.Options{}
 	if opts != nil {
 		cpOpts.SampleSize = opts.SampleSize
@@ -121,17 +157,44 @@ func Candidate(pts []vec.Vec, g *xrand.RNG, opts *Options) (geom.Separator, erro
 	if sampleN <= 0 {
 		sampleN = 256
 	}
-	if sampleN > len(pts) {
-		sampleN = len(pts)
+	if sampleN > n {
+		sampleN = n
 	}
-	lifted := make([]vec.Vec, sampleN)
-	if sampleN == len(pts) {
-		for i, p := range pts {
-			lifted[i] = geom.Lift(normalize(p))
+	sc := acquireScratch(d, sampleN)
+	defer candPool.Put(sc)
+
+	// Step 0: translate the centroid to the origin and rescale to unit RMS
+	// radius before lifting. Without this, a subset occupying a tiny region
+	// (as deep divide-and-conquer subproblems do) lifts to a tiny spherical
+	// cap, its centerpoint hugs the sphere surface, and the conformal map
+	// degenerates — the success probability of a trial would collapse with
+	// depth. The transform is undone on the resulting separator, so callers
+	// see original coordinates.
+	centroid := sc.centroid
+	ps.Centroid(centroid)
+	var rms float64
+	for i := 0; i < n; i++ {
+		rms += vec.Dist2Flat(ps.At(i), centroid)
+	}
+	rms = math.Sqrt(rms / float64(n))
+	if rms < 1e-300 {
+		return nil, errors.New("separator: all points coincide")
+	}
+	liftInto := func(dst vec.Vec, p vec.Vec) {
+		vec.SubTo(sc.q, p, centroid)
+		vec.ScaleTo(sc.q, 1/rms, sc.q)
+		geom.LiftTo(dst, sc.q)
+	}
+
+	// Step 1–2: centerpoint of a sample of lifted points.
+	lifted := sc.views
+	if sampleN == n {
+		for i := 0; i < n; i++ {
+			liftInto(lifted[i], ps.At(i))
 		}
 	} else {
 		for i := range lifted {
-			lifted[i] = geom.Lift(normalize(pts[g.IntN(len(pts))]))
+			liftInto(lifted[i], ps.At(g.IntN(n)))
 		}
 	}
 	var cp vec.Vec
@@ -210,10 +273,25 @@ func (s SplitStats) Ratio() float64 {
 }
 
 // Evaluate classifies the points against sep.
-func Evaluate(sep geom.Separator, pts []vec.Vec) SplitStats {
+func Evaluate(sep geom.Separator, pv []vec.Vec) SplitStats {
 	var st SplitStats
-	for _, p := range pts {
+	for _, p := range pv {
 		if sep.Side(p) <= 0 {
+			st.Interior++
+		} else {
+			st.Exterior++
+		}
+	}
+	return st
+}
+
+// EvaluateFlat classifies the points of a flat PointSet against sep,
+// streaming through the contiguous backing array.
+func EvaluateFlat(sep geom.Separator, ps *pts.PointSet) SplitStats {
+	var st SplitStats
+	n := ps.N()
+	for i := 0; i < n; i++ {
+		if sep.Side(ps.At(i)) <= 0 {
 			st.Interior++
 		} else {
 			st.Exterior++
@@ -236,33 +314,40 @@ type Result struct {
 // good sphere separator S." If MaxTrials candidates all fail (probability
 // exponentially small in the budget), it falls back to the median
 // hyperplane, which splits perfectly by construction.
-func FindGood(pts []vec.Vec, g *xrand.RNG, opts *Options) (Result, error) {
-	if len(pts) == 0 {
+func FindGood(pv []vec.Vec, g *xrand.RNG, opts *Options) (Result, error) {
+	if len(pv) == 0 {
 		return Result{}, errors.New("separator: no points")
 	}
-	d := len(pts[0])
-	delta := opts.delta(d)
-	budget := opts.maxTrials(len(pts))
+	return FindGoodFlat(pts.FromVecs(pv), g, opts)
+}
+
+// FindGoodFlat is FindGood on flat contiguous point storage.
+func FindGoodFlat(ps *pts.PointSet, g *xrand.RNG, opts *Options) (Result, error) {
+	if ps.N() == 0 {
+		return Result{}, errors.New("separator: no points")
+	}
+	delta := opts.delta(ps.Dim)
+	budget := opts.maxTrials(ps.N())
 	var res Result
 	for trial := 1; trial <= budget; trial++ {
-		sep, err := Candidate(pts, g, opts)
+		sep, err := CandidateFlat(ps, g, opts)
 		if err != nil {
 			res.Trials = trial
 			continue // a degenerate candidate costs a trial, like a bad split
 		}
-		st := Evaluate(sep, pts)
+		st := EvaluateFlat(sep, ps)
 		res.Trials = trial
 		if st.Ratio() <= delta {
 			res.Sep, res.Stats = sep, st
 			return res, nil
 		}
 	}
-	sep, err := MedianHyperplane(pts)
+	sep, err := MedianHyperplaneFlat(ps)
 	if err != nil {
 		return res, err
 	}
 	res.Sep = sep
-	res.Stats = Evaluate(sep, pts)
+	res.Stats = EvaluateFlat(sep, ps)
 	res.Punted = true
 	return res, nil
 }
@@ -271,33 +356,74 @@ func FindGood(pts []vec.Vec, g *xrand.RNG, opts *Options) (Result, error) {
 // coordinate of the widest dimension — Bentley's splitting rule ("translate
 // a fixed hyperplane until the points are divided in half"). It is both the
 // baseline algorithm's separator and FindGood's deterministic fallback.
-func MedianHyperplane(pts []vec.Vec) (geom.Separator, error) {
-	if len(pts) == 0 {
+func MedianHyperplane(pv []vec.Vec) (geom.Separator, error) {
+	if len(pv) == 0 {
 		return nil, errors.New("separator: no points")
 	}
-	d := len(pts[0])
-	b := geom.NewBounds(pts)
-	dim := b.WidestDim()
-	coords := make([]float64, len(pts))
-	for i, p := range pts {
-		coords[i] = p[dim]
+	return MedianHyperplaneFlat(pts.FromVecs(pv))
+}
+
+// MedianHyperplaneFlat is MedianHyperplane on flat storage.
+func MedianHyperplaneFlat(ps *pts.PointSet) (geom.Separator, error) {
+	n := ps.N()
+	if n == 0 {
+		return nil, errors.New("separator: no points")
 	}
+	dim := widestDimFlat(ps)
+	coords := make([]float64, n)
+	for i := 0; i < n; i++ {
+		coords[i] = ps.Data[i*ps.Dim+dim]
+	}
+	med, err := medianSplitCoord(coords, "separator: all points identical; no separator exists")
+	if err != nil {
+		return nil, err
+	}
+	return geom.Halfspace{Normal: vec.Basis(ps.Dim, dim), Offset: med}, nil
+}
+
+// widestDimFlat returns the dimension of largest extent, with ties going
+// to the smaller index — the same choice geom.NewBounds(...).WidestDim()
+// makes.
+func widestDimFlat(ps *pts.PointSet) int {
+	d := ps.Dim
+	lo := append(vec.Vec(nil), ps.At(0)...)
+	hi := append(vec.Vec(nil), ps.At(0)...)
+	for i := 1; i < ps.N(); i++ {
+		row := ps.At(i)
+		for c := 0; c < d; c++ {
+			if row[c] < lo[c] {
+				lo[c] = row[c]
+			}
+			if row[c] > hi[c] {
+				hi[c] = row[c]
+			}
+		}
+	}
+	best, bestExt := 0, -1.0
+	for c := 0; c < d; c++ {
+		if ext := hi[c] - lo[c]; ext > bestExt {
+			best, bestExt = c, ext
+		}
+	}
+	return best
+}
+
+// medianSplitCoord sorts the coordinates and picks the halving value:
+// points with coordinate <= med land on the interior side. If the median
+// equals the maximum (more than half the points share the top value), the
+// plane is lowered to the largest smaller value so the exterior side is
+// nonempty. Zero spread returns an error with the given message.
+func medianSplitCoord(coords []float64, zeroSpreadMsg string) (float64, error) {
 	sort.Float64s(coords)
 	if coords[0] == coords[len(coords)-1] {
-		// WidestDim has zero spread only when every dimension does: the
-		// points are all identical and no separator exists.
-		return nil, errors.New("separator: all points identical; no separator exists")
+		return 0, errors.New(zeroSpreadMsg)
 	}
 	med := coords[(len(coords)-1)/2]
-	// Points with coordinate <= med land on the interior side. If the
-	// median equals the maximum (more than half the points share the top
-	// value), lower the plane to the largest smaller value so the exterior
-	// side is nonempty.
 	if med == coords[len(coords)-1] {
 		i := sort.SearchFloat64s(coords, med) // first occurrence of the top value
 		med = coords[i-1]
 	}
-	return geom.Halfspace{Normal: vec.Basis(d, dim), Offset: med}, nil
+	return med, nil
 }
 
 // FixedHyperplane returns the median hyperplane orthogonal to the given
@@ -306,26 +432,29 @@ func MedianHyperplane(pts []vec.Vec) (geom.Separator, error) {
 // orientation, every halving translate crosses Ω(n) of the k-NN balls; this
 // is the paper's motivating bad case for hyperplane divide and conquer and
 // the comparator of experiment E5.
-func FixedHyperplane(pts []vec.Vec, dim int) (geom.Separator, error) {
-	if len(pts) == 0 {
+func FixedHyperplane(pv []vec.Vec, dim int) (geom.Separator, error) {
+	if len(pv) == 0 {
 		return nil, errors.New("separator: no points")
 	}
-	d := len(pts[0])
-	if dim < 0 || dim >= d {
-		return nil, fmt.Errorf("separator: dimension %d out of range for R^%d", dim, d)
+	return FixedHyperplaneFlat(pts.FromVecs(pv), dim)
+}
+
+// FixedHyperplaneFlat is FixedHyperplane on flat storage.
+func FixedHyperplaneFlat(ps *pts.PointSet, dim int) (geom.Separator, error) {
+	n := ps.N()
+	if n == 0 {
+		return nil, errors.New("separator: no points")
 	}
-	coords := make([]float64, len(pts))
-	for i, p := range pts {
-		coords[i] = p[dim]
+	if dim < 0 || dim >= ps.Dim {
+		return nil, fmt.Errorf("separator: dimension %d out of range for R^%d", dim, ps.Dim)
 	}
-	sort.Float64s(coords)
-	if coords[0] == coords[len(coords)-1] {
-		return nil, errors.New("separator: zero spread in requested dimension")
+	coords := make([]float64, n)
+	for i := 0; i < n; i++ {
+		coords[i] = ps.Data[i*ps.Dim+dim]
 	}
-	med := coords[(len(coords)-1)/2]
-	if med == coords[len(coords)-1] {
-		i := sort.SearchFloat64s(coords, med)
-		med = coords[i-1]
+	med, err := medianSplitCoord(coords, "separator: zero spread in requested dimension")
+	if err != nil {
+		return nil, err
 	}
-	return geom.Halfspace{Normal: vec.Basis(d, dim), Offset: med}, nil
+	return geom.Halfspace{Normal: vec.Basis(ps.Dim, dim), Offset: med}, nil
 }

@@ -112,6 +112,47 @@ func (l *List) Merge(other *List) {
 	}
 }
 
+// Arena bulk-allocates n lists of capacity k in three heap objects (the
+// arena, the list array, and one backing neighbor array) instead of 2n.
+// The divide-and-conquer and the kd-tree allocate one list per input point;
+// for n = 10⁴ the arena removes ~2·10⁴ small allocations from the build.
+type Arena struct {
+	lists []List
+	items []Neighbor
+}
+
+// NewArena returns an arena holding n lists with capacity k each.
+func NewArena(n, k int) *Arena {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	a := &Arena{lists: make([]List, n), items: make([]Neighbor, n*k)}
+	for i := range a.lists {
+		a.lists[i] = List{K: k, items: a.items[i*k : i*k : (i+1)*k]}
+	}
+	return a
+}
+
+// List returns the i-th arena list. Insertions stay within the arena's
+// backing array (the item slice has capacity k from the start).
+func (a *Arena) List(i int) *List { return &a.lists[i] }
+
+// Lists returns pointers to all arena lists, in index order.
+func (a *Arena) Lists() []*List {
+	out := make([]*List, len(a.lists))
+	for i := range a.lists {
+		out[i] = &a.lists[i]
+	}
+	return out
+}
+
+// Reset empties every list for reuse; capacities are retained.
+func (a *Arena) Reset() {
+	for i := range a.lists {
+		a.lists[i].items = a.lists[i].items[:0]
+	}
+}
+
 // SortNeighbors sorts a plain neighbor slice into canonical order; used by
 // reference implementations and tests.
 func SortNeighbors(ns []Neighbor) {

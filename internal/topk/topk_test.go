@@ -182,3 +182,38 @@ func TestSortNeighbors(t *testing.T) {
 		t.Errorf("SortNeighbors = %v", ns)
 	}
 }
+
+func TestArena(t *testing.T) {
+	a := NewArena(5, 3)
+	for i := 0; i < 5; i++ {
+		l := a.List(i)
+		if l.K != 3 || l.Len() != 0 {
+			t.Fatalf("list %d: K=%d len=%d", i, l.K, l.Len())
+		}
+		for j := 0; j < 10; j++ {
+			l.Insert(j, float64((j*7+i)%10))
+		}
+		if l.Len() != 3 || !l.Full() {
+			t.Fatalf("list %d not full after inserts", i)
+		}
+	}
+	// Arena lists must behave exactly like New(k) lists.
+	ref := New(3)
+	fresh := NewArena(1, 3).List(0)
+	for j := 0; j < 20; j++ {
+		d2 := float64((j * 13) % 7)
+		ref.Insert(j, d2)
+		fresh.Insert(j, d2)
+	}
+	if !Equal(ref, fresh) {
+		t.Fatalf("arena list %v != reference list %v", fresh.Items(), ref.Items())
+	}
+	lists := a.Lists()
+	if len(lists) != 5 || lists[2] != a.List(2) {
+		t.Fatal("Lists() must return pointers to the arena lists")
+	}
+	a.Reset()
+	if a.List(0).Len() != 0 {
+		t.Fatal("Reset must empty the lists")
+	}
+}

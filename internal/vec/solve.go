@@ -89,8 +89,31 @@ func NullVector(A [][]float64) ([]float64, error) {
 		}
 		w[i] = append([]float64(nil), A[i]...)
 	}
-	pivotCol := make([]int, 0, m)
-	isPivot := make([]bool, n)
+	x := make([]float64, n)
+	if err := NullVectorInPlace(w, x, make([]int, 0, m), make([]bool, n)); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// NullVectorInPlace is NullVector over caller-owned scratch, for
+// allocation-free hot loops (the iterated-Radon centerpoint): it destroys
+// the m×n system w and writes the solution into x (length n). pivotCol
+// (capacity ≥ m) and isPivot (length n) are scratch. The elimination is
+// operation-for-operation identical to NullVector's.
+func NullVectorInPlace(w [][]float64, x []float64, pivotCol []int, isPivot []bool) error {
+	m := len(w)
+	if m == 0 {
+		return errors.New("vec: empty homogeneous system")
+	}
+	n := len(w[0])
+	if n <= m {
+		return errors.New("vec: homogeneous system needs more unknowns than equations")
+	}
+	pivotCol = pivotCol[:0]
+	for i := range isPivot {
+		isPivot[i] = false
+	}
 	row := 0
 	for col := 0; col < n && row < m; col++ {
 		piv, best := -1, 1e-12
@@ -103,17 +126,19 @@ func NullVector(A [][]float64) ([]float64, error) {
 			continue // free column
 		}
 		w[row], w[piv] = w[piv], w[row]
-		inv := 1 / w[row][col]
+		wrow := w[row]
+		inv := 1 / wrow[col]
 		for c := col; c < n; c++ {
-			w[row][c] *= inv
+			wrow[c] *= inv
 		}
 		for r := 0; r < m; r++ {
-			if r == row || w[r][col] == 0 {
+			wr := w[r]
+			if r == row || wr[col] == 0 {
 				continue
 			}
-			f := w[r][col]
+			f := wr[col]
 			for c := col; c < n; c++ {
-				w[r][c] -= f * w[row][c]
+				wr[c] -= f * wrow[c]
 			}
 		}
 		pivotCol = append(pivotCol, col)
@@ -129,9 +154,11 @@ func NullVector(A [][]float64) ([]float64, error) {
 		}
 	}
 	if free < 0 {
-		return nil, ErrSingular
+		return ErrSingular
 	}
-	x := make([]float64, n)
+	for i := range x {
+		x[i] = 0
+	}
 	x[free] = 1
 	for r := len(pivotCol) - 1; r >= 0; r-- {
 		pc := pivotCol[r]
@@ -149,10 +176,10 @@ func NullVector(A [][]float64) ([]float64, error) {
 		}
 	}
 	if max == 0 || math.IsNaN(max) || math.IsInf(max, 0) {
-		return nil, ErrSingular
+		return ErrSingular
 	}
 	for i := range x {
 		x[i] /= max
 	}
-	return x, nil
+	return nil
 }

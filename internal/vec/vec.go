@@ -145,6 +145,38 @@ func Dist2(a, b Vec) float64 {
 // Dist returns the Euclidean distance between a and b.
 func Dist(a, b Vec) float64 { return math.Sqrt(Dist2(a, b)) }
 
+// Dist2Flat is Dist2 on raw coordinate slices (flat point storage). The
+// lengths must match; the bounds hint lets the compiler drop the per-index
+// checks in the hot loop. Arithmetic order is identical to Dist2.
+func Dist2Flat(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// DotFlat is Dot on raw coordinate slices.
+func DotFlat(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2Flat is Norm2 on a raw coordinate slice.
+func Norm2Flat(a []float64) float64 {
+	var s float64
+	for _, x := range a {
+		s += x * x
+	}
+	return s
+}
+
 // Normalize returns v/|v| as a new vector. It panics when v is (numerically)
 // the zero vector because a direction cannot be derived from it.
 func Normalize(v Vec) Vec {
@@ -207,11 +239,19 @@ func Centroid(pts []Vec) Vec {
 	if len(pts) == 0 {
 		panic("vec: centroid of empty point set")
 	}
-	c := make(Vec, len(pts[0]))
-	for _, p := range pts {
-		AXPY(c, 1, p)
+	return CentroidTo(make(Vec, len(pts[0])), pts)
+}
+
+// CentroidTo computes the centroid into caller-provided storage dst
+// (length = point dimension), with arithmetic identical to Centroid.
+func CentroidTo(dst Vec, pts []Vec) Vec {
+	for i := range dst {
+		dst[i] = 0
 	}
-	return ScaleTo(c, 1/float64(len(pts)), c)
+	for _, p := range pts {
+		AXPY(dst, 1, p)
+	}
+	return ScaleTo(dst, 1/float64(len(pts)), dst)
 }
 
 // Basis returns the i-th standard basis vector of dimension d.

@@ -20,12 +20,22 @@
 // as a cost model and as an actual parallel implementation. Cost accounting
 // is deterministic: it never depends on whether a branch ran inline or on a
 // goroutine.
+//
+// Real parallelism comes from one persistent worker pool per Machine
+// (package pool), created at NewMachine and reused across every Fork and
+// ForkN of a run. The seed implementation spawned a fresh goroutine per
+// fork; for the small subproblems near the recursion's leaves that
+// spawn/park overhead dominated the arithmetic. Submission to the pool is
+// non-blocking — when every worker is busy the branch runs inline — so
+// nested forks cannot deadlock and parallelism stays bounded.
 package vm
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"sepdc/internal/pool"
 )
 
 // Cost is the simulated complexity of a computation on the vector model.
@@ -56,21 +66,47 @@ func (c Cost) String() string {
 // Machine bounds the real goroutine parallelism used by Fork. The cost
 // accounting is identical for any bound, including 1 (fully sequential).
 type Machine struct {
-	sem chan struct{}
+	pool    *pool.Pool // nil for the sequential executor
+	workers int
 }
 
 // NewMachine returns a machine that runs at most workers branches
-// concurrently. workers <= 0 selects GOMAXPROCS.
+// concurrently on a persistent worker pool created here and reused for the
+// machine's lifetime. workers <= 0 selects GOMAXPROCS; workers == 1 is the
+// sequential executor (same code path, no goroutines), so Stats accounting
+// is uniform across all worker counts. Abandoned machines release their
+// pool goroutines via a GC cleanup; long-lived callers may Close instead.
 func NewMachine(workers int) *Machine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Machine{sem: make(chan struct{}, workers)}
+	m := &Machine{workers: workers}
+	if workers > 1 {
+		m.pool = pool.New(workers)
+		runtime.AddCleanup(m, func(p *pool.Pool) { p.Close() }, m.pool)
+	}
+	return m
 }
 
 // Sequential is a machine that never spawns goroutines; useful in tests and
 // when the caller manages parallelism itself.
-func Sequential() *Machine { return &Machine{sem: nil} }
+func Sequential() *Machine { return &Machine{workers: 1} }
+
+// Workers returns the machine's parallelism bound (1 for Sequential).
+func (m *Machine) Workers() int {
+	if m == nil || m.workers == 0 {
+		return 1
+	}
+	return m.workers
+}
+
+// Close releases the machine's worker pool. Optional: an unreferenced
+// machine is cleaned up by the GC. The machine must not be used after.
+func (m *Machine) Close() {
+	if m.pool != nil {
+		m.pool.Close()
+	}
+}
 
 // Ctx accumulates simulated cost along one strand of execution. A Ctx is
 // confined to a single goroutine; Fork creates independent child contexts
@@ -140,19 +176,19 @@ func (c *Ctx) Fork(branches ...func(*Ctx)) {
 			f(children[i])
 			continue
 		}
-		if c.m != nil && c.m.sem != nil {
-			select {
-			case c.m.sem <- struct{}{}:
-				wg.Add(1)
-				go func(i int, f func(*Ctx)) {
-					defer wg.Done()
-					defer func() { <-c.m.sem }()
-					f(children[i])
-				}(i, f)
-				continue
-			default:
-				// No budget: fall through to inline execution.
+		if c.m != nil && c.m.pool != nil {
+			i, f := i, f
+			wg.Add(1)
+			task := func() {
+				defer wg.Done()
+				f(children[i])
 			}
+			if c.m.pool.TrySubmit(task) {
+				continue
+			}
+			// No idle worker: run inline (the task still balances wg).
+			task()
+			continue
 		}
 		f(children[i])
 	}
@@ -172,36 +208,19 @@ func (c *Ctx) ForkN(n int, fn func(i int, ctx *Ctx)) {
 		return
 	}
 	children := make([]*Ctx, n)
-	workers := 1
-	if c.m != nil && c.m.sem != nil {
-		workers = cap(c.m.sem)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 {
+	if c.m == nil || c.m.pool == nil {
 		for i := 0; i < n; i++ {
 			children[i] = &Ctx{m: c.m}
 			fn(i, children[i])
 		}
 	} else {
-		var wg sync.WaitGroup
-		chunk := (n + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo, hi := w*chunk, min((w+1)*chunk, n)
-			if lo >= hi {
-				continue
+		// Chunked index ranges over the machine's persistent pool.
+		c.m.pool.ParallelRange(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				children[i] = &Ctx{m: c.m}
+				fn(i, children[i])
 			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					children[i] = &Ctx{m: c.m}
-					fn(i, children[i])
-				}
-			}(lo, hi)
-		}
-		wg.Wait()
+		})
 	}
 	merged := children[0].Cost()
 	for _, ch := range children[1:] {

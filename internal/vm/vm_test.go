@@ -180,10 +180,40 @@ func TestChargeSequential(t *testing.T) {
 }
 
 func TestNewMachineDefaults(t *testing.T) {
-	if m := NewMachine(0); cap(m.sem) < 1 {
+	if m := NewMachine(0); m.Workers() < 1 {
 		t.Error("NewMachine(0) must default to at least 1 worker")
 	}
-	if m := NewMachine(-5); cap(m.sem) < 1 {
+	if m := NewMachine(-5); m.Workers() < 1 {
 		t.Error("NewMachine(-5) must default to at least 1 worker")
+	}
+	if m := NewMachine(1); m.pool != nil {
+		t.Error("NewMachine(1) must be the sequential executor (no pool)")
+	}
+	if m := Sequential(); m.Workers() != 1 {
+		t.Error("Sequential().Workers() must be 1")
+	}
+	m := NewMachine(3)
+	if m.Workers() != 3 || m.pool == nil {
+		t.Error("NewMachine(3) must carry a persistent pool of 3 workers")
+	}
+	m.Close()
+	m.Close() // idempotent
+}
+
+// TestMachinePoolReuse pins the persistent-pool property: goroutine count
+// must not grow with the number of Fork calls on one machine.
+func TestMachinePoolReuse(t *testing.T) {
+	m := NewMachine(4)
+	defer m.Close()
+	for iter := 0; iter < 100; iter++ {
+		c := m.NewCtx()
+		c.Fork(
+			func(ctx *Ctx) { ctx.Prim(1) },
+			func(ctx *Ctx) { ctx.Prim(1) },
+			func(ctx *Ctx) { ctx.Prim(1) },
+		)
+		if got := c.Cost(); got.Steps != 1 || got.Work != 3 {
+			t.Fatalf("iter %d: cost %+v", iter, got)
+		}
 	}
 }

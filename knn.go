@@ -9,8 +9,8 @@ import (
 	"sepdc/internal/core"
 	"sepdc/internal/kdtree"
 	"sepdc/internal/knngraph"
+	"sepdc/internal/pts"
 	"sepdc/internal/topk"
-	"sepdc/internal/vec"
 	"sepdc/internal/vm"
 	"sepdc/internal/xrand"
 )
@@ -98,8 +98,12 @@ type Graph struct {
 // BuildKNNGraph computes the exact k-nearest-neighbor graph of the points.
 // Points must be finite, share one dimension d ≥ 1, and k must be ≥ 1.
 // Duplicate points are legal (they are neighbors at distance 0).
+//
+// The rows are flattened once into contiguous storage (package pts); every
+// algorithm runs on the flat representation, so this function is a thin
+// converting wrapper over the internal flat entry points.
 func BuildKNNGraph(points [][]float64, k int, opts *Options) (*Graph, error) {
-	pts, err := convert(points)
+	ps, err := convert(points)
 	if err != nil {
 		return nil, err
 	}
@@ -110,26 +114,28 @@ func BuildKNNGraph(points [][]float64, k int, opts *Options) (*Graph, error) {
 	var st Stats
 	switch algo := opts.algorithm(); algo {
 	case Brute:
-		lists = brute.AllKNN(pts, k)
+		lists = brute.AllKNNFlat(ps, k)
 	case KDTree:
-		lists = kdtree.Build(pts).AllKNN(k)
+		lists = kdtree.BuildFlat(ps, kdtree.DefaultLeafSize).AllKNN(k)
 	case Sphere, Hyperplane:
 		cOpts := &core.Options{K: k}
+		workers := 0
 		if opts != nil {
 			cOpts.BaseSize = opts.BaseSize
-			if opts.Workers != 1 {
-				cOpts.Machine = vm.NewMachine(opts.Workers)
-			}
-		} else {
-			cOpts.Machine = vm.NewMachine(0)
+			workers = opts.Workers
 		}
+		// Workers == 1 gets the same Machine code path as every other
+		// setting (NewMachine(1) is the sequential executor), so the cost
+		// accounting in Stats is produced identically regardless of the
+		// parallelism setting.
+		cOpts.Machine = vm.NewMachine(workers)
 		g := xrand.New(opts.seed())
 		var res *core.Result
 		var err error
 		if algo == Sphere {
-			res, err = core.SphereDNC(pts, g, cOpts)
+			res, err = core.SphereDNCFlat(ps, g, cOpts)
 		} else {
-			res, err = core.HyperplaneDNC(pts, g, cOpts)
+			res, err = core.HyperplaneDNCFlat(ps, g, cOpts)
 		}
 		if err != nil {
 			return nil, err
@@ -147,14 +153,14 @@ func BuildKNNGraph(points [][]float64, k int, opts *Options) (*Graph, error) {
 	}
 	return &Graph{
 		k:     k,
-		n:     len(pts),
+		n:     ps.N(),
 		lists: lists,
 		csr:   knngraph.FromLists(lists, k),
 		stats: st,
 	}, nil
 }
 
-func convert(points [][]float64) ([]vec.Vec, error) {
+func convert(points [][]float64) (*pts.PointSet, error) {
 	if len(points) == 0 {
 		return nil, errors.New("sepdc: no points")
 	}
@@ -162,18 +168,19 @@ func convert(points [][]float64) ([]vec.Vec, error) {
 	if d == 0 {
 		return nil, errors.New("sepdc: zero-dimensional points")
 	}
-	pts := make([]vec.Vec, len(points))
+	ps := &pts.PointSet{Data: make([]float64, 0, len(points)*d), Dim: d}
 	for i, p := range points {
 		if len(p) != d {
 			return nil, fmt.Errorf("sepdc: point %d has dimension %d, want %d", i, len(p), d)
 		}
-		v := vec.Vec(p)
-		if !vec.IsFinite(v) {
-			return nil, fmt.Errorf("sepdc: point %d has a non-finite coordinate", i)
+		for _, x := range p {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("sepdc: point %d has a non-finite coordinate", i)
+			}
 		}
-		pts[i] = v
+		ps.Data = append(ps.Data, p...)
 	}
-	return pts, nil
+	return ps, nil
 }
 
 // NumPoints returns the number of vertices.

@@ -1,0 +1,64 @@
+package sepdc
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// TestFlatBackendsMatchBrute is the refactor's safety net: the flat-storage
+// Sphere, Hyperplane and KDTree pipelines must produce exactly the graph the
+// brute-force reference produces, across dimensions, k values, and worker
+// counts (the Workers=1 sequential machine and the full pool share one code
+// path, so both are exercised explicitly).
+func TestFlatBackendsMatchBrute(t *testing.T) {
+	workerCounts := []int{1, runtime.GOMAXPROCS(0)}
+	if workerCounts[1] == 1 {
+		workerCounts = workerCounts[:1]
+	}
+	for _, d := range []int{2, 3, 4} {
+		for _, k := range []int{1, 4} {
+			n := 500
+			points := genPoints(n, d, uint64(100*d+k))
+			ref, err := BuildKNNGraph(points, k, &Options{Algorithm: Brute})
+			if err != nil {
+				t.Fatalf("brute d=%d k=%d: %v", d, k, err)
+			}
+			for _, algo := range []Algorithm{Sphere, Hyperplane, KDTree} {
+				for _, w := range workerCounts {
+					name := fmt.Sprintf("%s/d=%d/k=%d/workers=%d", algo, d, k, w)
+					t.Run(name, func(t *testing.T) {
+						g, err := BuildKNNGraph(points, k, &Options{
+							Algorithm: algo, Seed: 7, Workers: w,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !Equal(ref, g) {
+							t.Fatalf("graph differs from brute force: %s", diffGraphs(ref, g))
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// diffGraphs reports the first structural difference for failure messages.
+func diffGraphs(a, b *Graph) string {
+	if a.NumPoints() != b.NumPoints() {
+		return fmt.Sprintf("vertex counts %d vs %d", a.NumPoints(), b.NumPoints())
+	}
+	for v := 0; v < a.NumPoints(); v++ {
+		ra, rb := a.Adjacency(v), b.Adjacency(v)
+		if len(ra) != len(rb) {
+			return fmt.Sprintf("vertex %d degree %d vs %d", v, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				return fmt.Sprintf("vertex %d neighbor %d vs %d", v, ra[i], rb[i])
+			}
+		}
+	}
+	return "graphs equal"
+}

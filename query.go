@@ -30,19 +30,19 @@ type QueryStructureStats struct {
 // NewQueryStructure builds the search structure over the k-neighborhood
 // system of the points.
 func NewQueryStructure(points [][]float64, k int, seed uint64) (*QueryStructure, error) {
-	pts, err := convert(points)
+	ps, err := convert(points)
 	if err != nil {
 		return nil, err
 	}
 	if k < 1 {
 		return nil, fmt.Errorf("sepdc: k must be >= 1, got %d", k)
 	}
-	sys := nbrsys.KNeighborhood(pts, k)
+	sys := nbrsys.KNeighborhood(ps.Vecs(), k)
 	tree, err := septree.Build(sys, xrand.New(seed), nil)
 	if err != nil {
 		return nil, err
 	}
-	return &QueryStructure{tree: tree, dim: len(pts[0])}, nil
+	return &QueryStructure{tree: tree, dim: ps.Dim}, nil
 }
 
 // CoveringBalls returns, in ascending order, the indices of the points

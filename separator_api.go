@@ -51,17 +51,17 @@ type SeparatorResult struct {
 // ι_B(S) is reported; pass k = 0 to skip that (it costs an all-k-NN
 // construction).
 func FindSeparator(points [][]float64, k int, seed uint64) (*SeparatorResult, error) {
-	pts, err := convert(points)
+	ps, err := convert(points)
 	if err != nil {
 		return nil, err
 	}
-	res, err := separator.FindGood(pts, xrand.New(seed), nil)
+	res, err := separator.FindGoodFlat(ps, xrand.New(seed), nil)
 	if err != nil {
 		return nil, err
 	}
 	out := toSeparatorResult(res)
 	if k >= 1 {
-		sys := nbrsys.KNeighborhood(pts, k)
+		sys := nbrsys.KNeighborhood(ps.Vecs(), k)
 		out.CrossingBalls = sys.IntersectionNumber(res.Sep)
 	}
 	return out, nil
