@@ -14,9 +14,11 @@ test:
 	$(GO) test ./...
 
 # Race soak for the persistent worker pool and the scan primitives that run
-# on it (plus anything else cheap enough to race-test on every push).
+# on it (plus anything else cheap enough to race-test on every push). The
+# obs recorder's shard fork/merge rides along: its buffers are goroutine-
+# confined by the same discipline the pool's tasks are.
 test-race:
-	$(GO) test -race ./internal/vm/... ./internal/scan/... ./internal/pool/...
+	$(GO) test -race ./internal/vm/... ./internal/scan/... ./internal/pool/... ./internal/obs/...
 
 bench:
 	$(GO) test -bench=. -benchmem .

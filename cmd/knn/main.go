@@ -3,21 +3,28 @@
 //
 //	knn -n 10000 -d 3 -k 4 -algo sphere -dist uniform-cube
 //	knn -input points.txt -k 2 -algo hyperplane -out graph.txt
+//	knn -n 50000 -k 4 -obs -trace build.json   # Chrome trace + phase report
+//	knn -n 50000 -k 4 -debug-addr :8080        # expvar + pprof while running
 //
 // Input files hold one point per line, whitespace-separated coordinates.
 // With -out, the graph is written as "i: j1 j2 j3 ..." adjacency lines.
+// Open a -trace file in chrome://tracing or https://ui.perfetto.dev.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"sepdc"
+	"sepdc/internal/obs"
 	"sepdc/internal/pointgen"
 	"sepdc/internal/xrand"
 )
@@ -39,7 +46,22 @@ func run() error {
 	out := flag.String("out", "", "write adjacency lists to file")
 	seed := flag.Uint64("seed", 42, "random seed")
 	workers := flag.Int("workers", 0, "goroutine parallelism (0 = GOMAXPROCS)")
+	observe := flag.Bool("obs", false, "collect and print the build's phase/counter report")
+	trace := flag.String("trace", "", "write Chrome trace_event JSON of the build to file (implies -obs)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address")
+	debugHold := flag.Duration("debug-hold", 0, "keep the process (and -debug-addr server) alive this long after the build")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		obs.EnableGlobal()
+		obs.PublishExpvar()
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "knn: debug server:", err)
+			}
+		}()
+		fmt.Printf("debug server: http://%s/debug/vars and /debug/pprof\n", *debugAddr)
+	}
 
 	var points [][]float64
 	if *input != "" {
@@ -64,6 +86,8 @@ func run() error {
 		Algorithm: sepdc.Algorithm(*algo),
 		Seed:      *seed,
 		Workers:   *workers,
+		Observe:   *observe,
+		Trace:     *trace != "",
 	})
 	if err != nil {
 		return err
@@ -84,13 +108,84 @@ func run() error {
 		fmt.Printf("fast corr:    %d, punts: %d\n", st.FastCorrections, st.Punts)
 	}
 
+	if rep := g.Stats().Report; rep != nil {
+		printReport(rep)
+	}
+	if *trace != "" {
+		if err := writeTrace(*trace, g); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", *trace)
+	}
+
 	if *out != "" {
 		if err := writeGraph(*out, g); err != nil {
 			return err
 		}
 		fmt.Printf("graph written to %s\n", *out)
 	}
+	if *debugHold > 0 {
+		fmt.Printf("holding for %v (debug endpoints stay up)...\n", *debugHold)
+		time.Sleep(*debugHold)
+	}
 	return nil
+}
+
+// printReport renders the observability report: per-phase wall time,
+// non-zero counters, histogram summaries, and runtime gauges.
+func printReport(rep *obs.BuildReport) {
+	fmt.Println("--- observability report ---")
+	for _, ph := range obs.PhaseNames() {
+		if ns := rep.Phases[ph]; ns > 0 {
+			fmt.Printf("phase %-8s %v\n", ph, time.Duration(ns).Round(time.Microsecond))
+		}
+	}
+	names := make([]string, 0, len(rep.Counters))
+	for name := range rep.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if v := rep.Counters[name]; v != 0 {
+			fmt.Printf("counter %-24s %d\n", name, v)
+		}
+	}
+	hnames := make([]string, 0, len(rep.Histograms))
+	for name := range rep.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := rep.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Printf("hist %-24s count=%d mean=%.1f min=%d max=%d\n",
+			name, h.Count, h.Mean(), h.Min, h.Max)
+	}
+	rnames := make([]string, 0, len(rep.Runtime))
+	for name := range rep.Runtime {
+		rnames = append(rnames, name)
+	}
+	sort.Strings(rnames)
+	for _, name := range rnames {
+		if v := rep.Runtime[name]; v != 0 {
+			fmt.Printf("runtime %-24s %d\n", name, v)
+		}
+	}
+}
+
+func writeTrace(path string, g *sepdc.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := g.WriteTrace(w); err != nil {
+		return err
+	}
+	return w.Flush()
 }
 
 func readPoints(path string) ([][]float64, error) {

@@ -14,25 +14,44 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"time"
 
 	"sepdc"
+	"sepdc/internal/obs"
 	"sepdc/internal/pointgen"
 	"sepdc/internal/xrand"
 )
 
-// Result is one grid cell's measurement.
+// Result is one grid cell's measurement. Observed is filled from one extra
+// non-timed instrumented run for the divide-and-conquer algorithms: per-
+// phase wall times (divide/recurse/correct/base), the deterministic trial/
+// punt counters, and the march/crossing-ball histograms.
 type Result struct {
-	Algorithm    string  `json:"algorithm"`
-	N            int     `json:"n"`
-	D            int     `json:"d"`
-	K            int     `json:"k"`
-	Iterations   int     `json:"iterations"`
-	NsPerOp      int64   `json:"ns_per_op"`
-	AllocsPerOp  int64   `json:"allocs_per_op"`
-	BytesPerOp   int64   `json:"bytes_per_op"`
-	PointsPerSec float64 `json:"points_per_sec"`
+	Algorithm    string           `json:"algorithm"`
+	N            int              `json:"n"`
+	D            int              `json:"d"`
+	K            int              `json:"k"`
+	Iterations   int              `json:"iterations"`
+	NsPerOp      int64            `json:"ns_per_op"`
+	AllocsPerOp  int64            `json:"allocs_per_op"`
+	BytesPerOp   int64            `json:"bytes_per_op"`
+	PointsPerSec float64          `json:"points_per_sec"`
+	Observed     *obs.BuildReport `json:"observed,omitempty"`
+}
+
+// Env records the machine and build the numbers were taken on.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+	GitCommit  string `json:"git_commit,omitempty"`
 }
 
 // Report is the whole BENCH_knn.json document.
@@ -40,9 +59,45 @@ type Report struct {
 	Generated  string   `json:"generated"`
 	GoVersion  string   `json:"go_version"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
+	Env        Env      `json:"env"`
 	Note       string   `json:"note"`
 	Baseline   []Result `json:"baseline"`
 	Results    []Result `json:"results"`
+}
+
+// captureEnv gathers the environment header: toolchain, CPU shape, the CPU
+// model from /proc/cpuinfo (Linux; absent elsewhere), and the git commit
+// from build info (module builds) or the working tree (go run).
+func captureEnv() Env {
+	env := Env{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if name, val, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(name) == "model name" {
+				env.CPUModel = strings.TrimSpace(val)
+				break
+			}
+		}
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				env.GitCommit = s.Value
+				break
+			}
+		}
+	}
+	if env.GitCommit == "" {
+		if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+			env.GitCommit = strings.TrimSpace(string(out))
+		}
+	}
+	return env
 }
 
 // baseline holds the seed measurements (commit 267ddc0, `go test -bench
@@ -98,7 +153,7 @@ func measure(c cfg, iters int) (Result, error) {
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
-	return Result{
+	res := Result{
 		Algorithm:    string(c.algo),
 		N:            len(points),
 		D:            c.d,
@@ -108,7 +163,21 @@ func measure(c cfg, iters int) (Result, error) {
 		AllocsPerOp:  int64(after.Mallocs-before.Mallocs) / int64(iters),
 		BytesPerOp:   int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
 		PointsPerSec: float64(len(points)) * float64(iters) / elapsed.Seconds(),
-	}, nil
+	}
+	// One extra observed (non-timed) run for the divide-and-conquer
+	// algorithms: per-phase wall times and the paper-quantity counters and
+	// histograms, kept out of the measured loop so the instrumentation
+	// cannot color the ns/op numbers.
+	if c.algo == sepdc.Sphere || c.algo == sepdc.Hyperplane {
+		obsOpts := *opts
+		obsOpts.Observe = true
+		g, err := sepdc.BuildKNNGraph(points, c.k, &obsOpts)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Observed = g.Stats().Report
+	}
+	return res, nil
 }
 
 func main() {
@@ -120,8 +189,10 @@ func main() {
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Env:        captureEnv(),
 		Note: "baseline = seed commit 267ddc0 (pre flat-storage), measured back-to-back " +
-			"with results on the same machine; grid matches BenchmarkBuildKNNGraph",
+			"with results on the same machine; grid matches BenchmarkBuildKNNGraph; " +
+			"observed = one extra instrumented (Observe: true) run per DNC cell, not timed",
 	}
 	rep.Baseline = baseline
 	for _, c := range grid {

@@ -1,0 +1,82 @@
+package sepdc
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"sepdc/internal/pointgen"
+	"sepdc/internal/xrand"
+)
+
+// TestStatsDeterministicAcrossWorkers asserts the paper-quantity side of the
+// observability contract: at a fixed seed, every deterministic statistic of
+// a divide-and-conquer build — the public Stats fields and the merged
+// counters and histograms of the observability report — is bit-identical
+// regardless of the Workers setting. Only Phases/WallNs/Runtime (wall-clock
+// and process-wide measurements) may differ between schedules, so those are
+// exactly the fields the comparison leaves out.
+func TestStatsDeterministicAcrossWorkers(t *testing.T) {
+	pts := pointgen.Dedup(pointgen.MustGenerate(pointgen.UniformCube, 4000, 2, xrand.New(7)))
+	points := make([][]float64, len(pts))
+	for i, p := range pts {
+		points[i] = p
+	}
+
+	workerSettings := []int{1, 4}
+	if g := runtime.GOMAXPROCS(0); g > 1 && g != 4 {
+		workerSettings = append(workerSettings, g)
+	}
+
+	for _, algo := range []Algorithm{Sphere, Hyperplane} {
+		type snapshot struct {
+			workers int
+			stats   Stats
+			graph   *Graph
+		}
+		var snaps []snapshot
+		for _, w := range workerSettings {
+			g, err := BuildKNNGraph(points, 4, &Options{
+				Algorithm: algo,
+				Seed:      99,
+				Workers:   w,
+				Observe:   true,
+			})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", algo, w, err)
+			}
+			snaps = append(snaps, snapshot{workers: w, stats: g.Stats(), graph: g})
+		}
+
+		ref := snaps[0]
+		for _, s := range snaps[1:] {
+			if !Equal(ref.graph, s.graph) {
+				t.Errorf("%s: graph differs between workers=%d and workers=%d",
+					algo, ref.workers, s.workers)
+			}
+			// Public numeric stats: scrub the report pointer, compare the rest.
+			a, b := ref.stats, s.stats
+			a.Report, b.Report = nil, nil
+			if a != b {
+				t.Errorf("%s: Stats differ between workers=%d and workers=%d:\n%+v\nvs\n%+v",
+					algo, ref.workers, s.workers, a, b)
+			}
+			// Observability report: counters and histograms are merged
+			// commutatively from deterministic observations, so they must
+			// match exactly; phase/wall/runtime numbers are schedule-bound.
+			ra, rb := ref.stats.Report, s.stats.Report
+			if ra == nil || rb == nil {
+				t.Fatalf("%s: missing report (workers=%d: %v, workers=%d: %v)",
+					algo, ref.workers, ra != nil, s.workers, rb != nil)
+			}
+			if !reflect.DeepEqual(ra.Counters, rb.Counters) {
+				t.Errorf("%s: counters differ between workers=%d and workers=%d:\n%v\nvs\n%v",
+					algo, ref.workers, s.workers, ra.Counters, rb.Counters)
+			}
+			if !reflect.DeepEqual(ra.Histograms, rb.Histograms) {
+				t.Errorf("%s: histograms differ between workers=%d and workers=%d",
+					algo, ref.workers, s.workers)
+			}
+		}
+	}
+}

@@ -45,7 +45,9 @@ func FindGraphSeparator(points [][]float64, k int, seed uint64) (*GraphSeparator
 	}
 	vecs := ps.Vecs()
 	sys := nbrsys.KNeighborhood(vecs, k)
-	graph, err := BuildKNNGraph(points, k, &Options{Algorithm: KDTree})
+	// Reuse the flat point set already built above instead of converting
+	// the [][]float64 rows a second time.
+	graph, err := buildFromPointSet(ps, k, &Options{Algorithm: KDTree})
 	if err != nil {
 		return nil, err
 	}

@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"sepdc/internal/march"
+	"sepdc/internal/obs"
 	"sepdc/internal/separator"
 	"sepdc/internal/topk"
 	"sepdc/internal/vm"
@@ -59,6 +60,9 @@ type Options struct {
 	// fast-correction march (experiment E8). Off by default: profiles of
 	// large runs are sizable.
 	CollectProfiles bool
+	// Rec is the observability recorder (package obs). Nil disables the
+	// layer; every instrumentation site then reduces to a nil check.
+	Rec *obs.Recorder
 }
 
 func (o *Options) k() int {
@@ -105,6 +109,13 @@ func (o *Options) activeFactor() float64 {
 		return 8
 	}
 	return o.ActiveFactor
+}
+
+func (o *Options) rec() *obs.Recorder {
+	if o == nil {
+		return nil
+	}
+	return o.Rec
 }
 
 // Stats instruments one divide-and-conquer run. Counter semantics follow

@@ -6,6 +6,7 @@ import (
 	"sepdc/internal/geom"
 	"sepdc/internal/march"
 	"sepdc/internal/nbrsys"
+	"sepdc/internal/obs"
 	"sepdc/internal/pts"
 	"sepdc/internal/septree"
 	"sepdc/internal/topk"
@@ -61,11 +62,12 @@ func ballsOf(ps *pts.PointSet, lists []*topk.List, idx []int) []march.Ball {
 // Returns false when the march aborted on the active-ball limit, in which
 // case no list was modified and the caller must punt.
 func fastCorrect(ps *pts.PointSet, lists []*topk.List, cross []int, otherTree *march.PNode,
-	activeLimit int, opts *Options, ctx *vm.Ctx, tl *tally) bool {
+	activeLimit int, opts *Options, ctx *vm.Ctx, tl *tally, sh *obs.Shard) bool {
 
 	if len(cross) == 0 || otherTree == nil {
 		return true
 	}
+	sp := sh.Begin()
 	balls := ballsOf(ps, lists, cross)
 	hits, st := march.DownFlat(otherTree, ps, balls, activeLimit, ctx)
 	tl.add(func(s *Stats) {
@@ -77,6 +79,11 @@ func fastCorrect(ps *pts.PointSet, lists []*topk.List, cross []int, otherTree *m
 			s.Profiles = append(s.Profiles, st.ActivePerLvl)
 		}
 	})
+	sh.Observe(obs.HMarchLevels, int64(st.Levels))
+	sh.Observe(obs.HMarchMaxActive, int64(st.MaxActive))
+	sh.Observe(obs.HMarchVisited, int64(st.TotalVisited))
+	sh.Count(obs.CDuplications, int64(st.Duplications))
+	sh.EndTrace(sp, obs.SpanMarch, int64(len(cross)))
 	if st.Aborted {
 		return false
 	}
@@ -91,6 +98,8 @@ func fastCorrect(ps *pts.PointSet, lists []*topk.List, cross []int, otherTree *m
 		s.CandidatePairs += len(hits)
 		s.FastCorrections++
 	})
+	sh.Count(obs.CFastCorrections, 1)
+	sh.Count(obs.CCandidatePairs, int64(len(hits)))
 	return true
 }
 
@@ -104,11 +113,13 @@ func fastCorrect(ps *pts.PointSet, lists []*topk.List, cross []int, otherTree *m
 // side (there are at most k of them per side in practice, and the scan's
 // cost is charged faithfully).
 func queryCorrect(ps *pts.PointSet, lists []*topk.List, cross []int, otherPts []int,
-	g *xrand.RNG, opts *Options, ctx *vm.Ctx, tl *tally) {
+	g *xrand.RNG, opts *Options, ctx *vm.Ctx, tl *tally, sh *obs.Shard) {
 
 	if len(cross) == 0 || len(otherPts) == 0 {
 		return
 	}
+	sp := sh.Begin()
+	defer func() { sh.EndTrace(sp, obs.SpanQueryCorrect, int64(len(cross))) }()
 	var finite []int
 	var unbounded []int
 	for _, i := range cross {
@@ -128,9 +139,11 @@ func queryCorrect(ps *pts.PointSet, lists []*topk.List, cross []int, otherPts []
 	if len(unbounded) > 0 {
 		ctx.PrimK(len(unbounded), len(otherPts))
 		tl.add(func(s *Stats) { s.CandidatePairs += len(unbounded) * len(otherPts) })
+		sh.Count(obs.CCandidatePairs, int64(len(unbounded)*len(otherPts)))
 	}
 	if len(finite) == 0 {
 		tl.add(func(s *Stats) { s.QueryCorrections++ })
+		sh.Count(obs.CQueryCorrections, 1)
 		return
 	}
 
@@ -157,10 +170,15 @@ func queryCorrect(ps *pts.PointSet, lists []*topk.List, cross []int, otherPts []
 			s.CandidatePairs += len(finite) * len(otherPts)
 			s.QueryCorrections++
 		})
+		sh.Count(obs.CCandidatePairs, int64(len(finite)*len(otherPts)))
+		sh.Count(obs.CQueryCorrections, 1)
 		return
 	}
 	ctx.Charge(tree.Stats.Cost)
 	tl.add(func(s *Stats) { s.SeparatorTrials += tree.Stats.SeparatorTrials })
+	sh.Count(obs.CSeparatorTrials, int64(tree.Stats.SeparatorTrials))
+	sh.Count(obs.CSeptreeBuilds, 1)
+	sh.Count(obs.CSeptreeStored, int64(tree.Stats.TotalStored))
 
 	// Query all other-side points in parallel: steps = deepest query path,
 	// work = total nodes visited (plus the hits).
@@ -183,4 +201,6 @@ func queryCorrect(ps *pts.PointSet, lists []*topk.List, cross []int, otherPts []
 		s.CandidatePairs += hits
 		s.QueryCorrections++
 	})
+	sh.Count(obs.CCandidatePairs, int64(hits))
+	sh.Count(obs.CQueryCorrections, 1)
 }

@@ -6,6 +6,7 @@ import (
 
 	"sepdc/internal/brute"
 	"sepdc/internal/march"
+	"sepdc/internal/obs"
 	"sepdc/internal/pts"
 	"sepdc/internal/separator"
 	"sepdc/internal/topk"
@@ -105,36 +106,47 @@ func run(ps *pts.PointSet, g *xrand.RNG, opts *Options, split splitFunc) (*Resul
 	tl := &tally{}
 	ctx := opts.machine().NewCtx()
 	base := opts.baseSize(n)
-	tree := rec(ps, idx, lists, 0, g, opts, split, base, ctx, tl)
+	sh := opts.rec().Root()
+	sp := sh.Begin()
+	tree := rec(ps, idx, lists, 0, g, opts, split, base, ctx, tl, sh)
+	sh.EndTrace(sp, obs.SpanBuild, int64(n))
 	tl.s.Cost = ctx.Cost()
+	sh.Count(obs.CSimSteps, tl.s.Cost.Steps)
+	sh.Count(obs.CSimWork, tl.s.Cost.Work)
+	sh.Release()
 	return &Result{Lists: lists, Tree: tree, Stats: tl.s}, nil
 }
 
 // baseCase brute-forces the subset into the points' own lists: the paper's
 // "deterministically compute the neighborhood system in m time using m
 // processors by testing all pairs" (Section 6.1).
-func baseCase(ps *pts.PointSet, idx []int, lists []*topk.List, opts *Options, ctx *vm.Ctx, tl *tally) *march.PNode {
+func baseCase(ps *pts.PointSet, idx []int, lists []*topk.List, opts *Options, ctx *vm.Ctx, tl *tally, sh *obs.Shard) *march.PNode {
+	sp := sh.Begin()
 	brute.AllKNNSubsetInto(ps, idx, lists)
 	ctx.PrimK(len(idx), len(idx))
 	tl.add(func(s *Stats) { s.BaseCases++ })
+	sh.Count(obs.CBaseCases, 1)
+	sh.End(sp, obs.PhaseBase, obs.SpanBase, int64(len(idx)))
 	return &march.PNode{Pts: idx}
 }
 
 func rec(ps *pts.PointSet, idx []int, lists []*topk.List, depth int, g *xrand.RNG, opts *Options,
-	split splitFunc, base int, ctx *vm.Ctx, tl *tally) *march.PNode {
+	split splitFunc, base int, ctx *vm.Ctx, tl *tally, sh *obs.Shard) *march.PNode {
 
 	m := len(idx)
 	if m <= base {
-		return baseCase(ps, idx, lists, opts, ctx, tl)
+		return baseCase(ps, idx, lists, opts, ctx, tl, sh)
 	}
 
+	spDiv := sh.Begin()
 	// The divide step materializes the node's subset contiguously: one
 	// gather, after which every separator trial streams cache-friendly.
 	sub := ps.Gather(idx)
 	res, alwaysQuery, err := split(sub, depth, g.Split(), opts)
 	if err != nil {
 		// Unsplittable subset (all points identical): brute force it.
-		return baseCase(ps, idx, lists, opts, ctx, tl)
+		sh.End(spDiv, obs.PhaseDivide, obs.SpanDivide, int64(m))
+		return baseCase(ps, idx, lists, opts, ctx, tl, sh)
 	}
 	tl.add(func(s *Stats) {
 		s.Nodes++
@@ -143,6 +155,13 @@ func rec(ps *pts.PointSet, idx []int, lists []*topk.List, depth int, g *xrand.RN
 			s.SeparatorPunts++
 		}
 	})
+	sh.Count(obs.CNodes, 1)
+	sh.Count(obs.CSeparatorTrials, int64(res.Trials))
+	sh.Observe(obs.HSeparatorTrials, int64(res.Trials))
+	sh.Observe(obs.HNodeSize, int64(m))
+	if res.Punted {
+		sh.Count(obs.CSeparatorPunts, 1)
+	}
 	ctx.PrimK(res.Trials, m) // each Unit Time Separator trial: O(1) steps over m points
 
 	// Partition the points: interior side takes Side <= 0.
@@ -155,51 +174,91 @@ func rec(ps *pts.PointSet, idx []int, lists []*topk.List, depth int, g *xrand.RN
 		}
 	}
 	ctx.PrimK(2, m) // classify + pack
+	sh.End(spDiv, obs.PhaseDivide, obs.SpanDivide, int64(m))
 	if len(inIdx) == 0 || len(exIdx) == 0 {
 		// A vacuous split (possible for hyperplanes on pathological data):
 		// brute force rather than recurse without progress.
-		return baseCase(ps, idx, lists, opts, ctx, tl)
+		return baseCase(ps, idx, lists, opts, ctx, tl, sh)
 	}
 
-	// Recurse on the two sides in parallel.
+	// Recurse on the two sides in parallel. The left branch may run on
+	// another worker, so it records into a forked shard; the right branch
+	// runs on this strand (vm.Ctx.Fork executes the last branch inline)
+	// and keeps ours. The recurse phase is charged only with fork-join
+	// overhead: inclusive fork time minus both children's run time (whose
+	// own divide/correct/base spans account for the remainder), floored at
+	// zero — when the branches truly overlap the fork's wall time is less
+	// than the durations' sum and the overhead rounds down to nothing.
 	node := &march.PNode{Sep: res.Sep}
 	gl, gr := g.Split(), g.Split()
-	ctx.Fork(
-		func(c *vm.Ctx) { node.Left = rec(ps, inIdx, lists, depth+1, gl, opts, split, base, c, tl) },
-		func(c *vm.Ctx) { node.Right = rec(ps, exIdx, lists, depth+1, gr, opts, split, base, c, tl) },
-	)
+	if sh == nil {
+		// Disabled-observability fork: no duration captures. The branch
+		// exists so the hot path does not pay the two per-node heap cells
+		// the timed variant's shared durL/durR variables escape into.
+		ctx.Fork(
+			func(c *vm.Ctx) { node.Left = rec(ps, inIdx, lists, depth+1, gl, opts, split, base, c, tl, nil) },
+			func(c *vm.Ctx) { node.Right = rec(ps, exIdx, lists, depth+1, gr, opts, split, base, c, tl, nil) },
+		)
+	} else {
+		shL := sh.Fork()
+		spRec := sh.Begin()
+		var durL, durR int64
+		ctx.Fork(
+			func(c *vm.Ctx) {
+				t0 := shL.Now()
+				node.Left = rec(ps, inIdx, lists, depth+1, gl, opts, split, base, c, tl, shL)
+				durL = shL.Now() - t0
+				shL.Release()
+			},
+			func(c *vm.Ctx) {
+				t0 := sh.Now()
+				node.Right = rec(ps, exIdx, lists, depth+1, gr, opts, split, base, c, tl, sh)
+				durR = sh.Now() - t0
+			},
+		)
+		sh.EndAdjusted(spRec, obs.PhaseRecurse, obs.SpanRecurse, int64(m), durL+durR)
+	}
 
 	// Correction phase (Section 6.1's Correction / Section 5's step 3).
+	spCor := sh.Begin()
 	crossIn := crossing(ps, lists, inIdx, res.Sep, ctx)
 	crossEx := crossing(ps, lists, exIdx, res.Sep, ctx)
+	crossed := len(crossIn) + len(crossEx)
+	sh.Observe(obs.HCrossingBalls, int64(crossed))
 
 	gq := g.Split()
 	if alwaysQuery {
-		queryCorrect(ps, lists, crossIn, exIdx, gq, opts, ctx, tl)
-		queryCorrect(ps, lists, crossEx, inIdx, gq, opts, ctx, tl)
+		queryCorrect(ps, lists, crossIn, exIdx, gq, opts, ctx, tl, sh)
+		queryCorrect(ps, lists, crossEx, inIdx, gq, opts, ctx, tl, sh)
+		sh.End(spCor, obs.PhaseCorrect, obs.SpanCorrect, int64(crossed))
 		return node
 	}
 
 	// Punt threshold: attempt the fast path only when the crossing set is
 	// small (ι_{B_I}(S) + ι_{B_E}(S) < m^μ).
 	threshold := math.Pow(float64(m), opts.mu())
-	if float64(len(crossIn)+len(crossEx)) >= threshold {
+	if float64(crossed) >= threshold {
 		tl.add(func(s *Stats) { s.ThresholdPunts++ })
-		queryCorrect(ps, lists, crossIn, exIdx, gq, opts, ctx, tl)
-		queryCorrect(ps, lists, crossEx, inIdx, gq, opts, ctx, tl)
+		sh.Count(obs.CThresholdPunts, 1)
+		queryCorrect(ps, lists, crossIn, exIdx, gq, opts, ctx, tl, sh)
+		queryCorrect(ps, lists, crossEx, inIdx, gq, opts, ctx, tl, sh)
+		sh.End(spCor, obs.PhaseCorrect, obs.SpanCorrect, int64(crossed))
 		return node
 	}
 
 	// Fast Correction, each direction independently; an aborted march
 	// punts only its own direction.
 	activeLimit := int(opts.activeFactor()*threshold*math.Log2(float64(m))) + 16
-	if !fastCorrect(ps, lists, crossIn, node.Right, activeLimit, opts, ctx, tl) {
+	if !fastCorrect(ps, lists, crossIn, node.Right, activeLimit, opts, ctx, tl, sh) {
 		tl.add(func(s *Stats) { s.MarchAborts++ })
-		queryCorrect(ps, lists, crossIn, exIdx, gq, opts, ctx, tl)
+		sh.Count(obs.CMarchAborts, 1)
+		queryCorrect(ps, lists, crossIn, exIdx, gq, opts, ctx, tl, sh)
 	}
-	if !fastCorrect(ps, lists, crossEx, node.Left, activeLimit, opts, ctx, tl) {
+	if !fastCorrect(ps, lists, crossEx, node.Left, activeLimit, opts, ctx, tl, sh) {
 		tl.add(func(s *Stats) { s.MarchAborts++ })
-		queryCorrect(ps, lists, crossEx, inIdx, gq, opts, ctx, tl)
+		sh.Count(obs.CMarchAborts, 1)
+		queryCorrect(ps, lists, crossEx, inIdx, gq, opts, ctx, tl, sh)
 	}
+	sh.End(spCor, obs.PhaseCorrect, obs.SpanCorrect, int64(crossed))
 	return node
 }

@@ -33,6 +33,7 @@ import (
 	"math"
 
 	"sepdc/internal/geom"
+	"sepdc/internal/obs"
 	"sepdc/internal/pts"
 	"sepdc/internal/vec"
 	"sepdc/internal/vm"
@@ -163,6 +164,10 @@ func DownFlat(root *PNode, ps *pts.PointSet, balls []Ball, activeLimit int, ctx 
 			// Constant steps for the whole march (Lemma 6.3, chunked);
 			// work = all (ball, node) pairs labeled plus the leaf scans.
 			ctx.Charge(vm.Cost{Steps: marchSteps, Work: int64(st.TotalVisited + leafWork)})
+		}
+		if obs.On() {
+			obs.Add(obs.GMarchPairs, int64(st.TotalVisited))
+			obs.Add(obs.GMarchLeafPoints, int64(leafWork))
 		}
 	}()
 	for len(frontier) > 0 {

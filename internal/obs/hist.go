@@ -1,0 +1,101 @@
+package obs
+
+import "math/bits"
+
+// histBuckets is the number of log2 buckets: bucket i counts values whose
+// bit length is i, i.e. v in [2^{i-1}, 2^i). Bucket 0 holds v == 0. The
+// top bucket absorbs everything beyond, which no paper quantity reaches
+// on feasible inputs.
+const histBuckets = 40
+
+// histogram is a lock-free (strand-confined) log2 histogram with exact
+// count/sum/min/max. Log2 buckets match the paper's quantities, whose
+// interesting structure is their growth order (m^μ, log m), not fine
+// precision.
+type histogram struct {
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+	buckets [histBuckets]int64
+}
+
+func bucketOf(v int64) int {
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+func (h *histogram) observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bucketOf(v)]++
+}
+
+func (h *histogram) merge(o *histogram) {
+	if o.count == 0 {
+		return
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+}
+
+// Hist is a histogram snapshot in export form.
+type Hist struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	// Buckets lists the non-empty log2 buckets in ascending order; Le is
+	// the bucket's inclusive upper bound (2^i − 1).
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one non-empty log2 histogram bucket.
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// Mean returns the histogram's exact mean (0 when empty).
+func (h Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+func (h *histogram) snapshot() Hist {
+	out := Hist{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count == 0 {
+		out.Min = 0
+	}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		le := int64(1)<<uint(i) - 1
+		out.Buckets = append(out.Buckets, Bucket{Le: le, Count: c})
+	}
+	return out
+}

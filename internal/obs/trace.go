@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// traceEvent is one buffered span in recorder-relative nanoseconds.
+type traceEvent struct {
+	kind SpanKind
+	ts   int64
+	dur  int64
+	arg  int64
+}
+
+// chromeEvent is the Chrome trace_event JSON shape ("X" complete events
+// plus "M" metadata). Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteTrace exports every buffered span as Chrome trace_event JSON
+// (load in chrome://tracing or https://ui.perfetto.dev). Each recursion
+// strand is one thread lane; nested divide/recurse/correct spans
+// reconstruct the recursion tree visually. Returns an error when the
+// recorder was not created with Config.Trace.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	if r == nil {
+		return errors.New("obs: no recorder")
+	}
+	if !r.tracing {
+		return errors.New("obs: recorder built without Config.Trace")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	trace := chromeTrace{DisplayTimeUnit: "ms"}
+	trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": "sepdc build"},
+	})
+	for _, s := range r.shards {
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: s.tid,
+			Args: map[string]any{"name": fmt.Sprintf("strand-%d", s.tid)},
+		})
+		for _, e := range s.events {
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: spanNames[e.kind],
+				Ph:   "X",
+				Ts:   float64(e.ts) / 1e3,
+				Dur:  float64(e.dur) / 1e3,
+				Pid:  1,
+				Tid:  s.tid,
+				Args: map[string]any{"m": e.arg},
+			})
+		}
+	}
+	// Stable order: metadata first, then by start time; Chrome accepts
+	// any order, but sorted output diffs cleanly and zips better.
+	sort.SliceStable(trace.TraceEvents, func(i, j int) bool {
+		a, b := trace.TraceEvents[i], trace.TraceEvents[j]
+		if (a.Ph == "M") != (b.Ph == "M") {
+			return a.Ph == "M"
+		}
+		return a.Ts < b.Ts
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(&trace)
+}
+
+// EventCount returns the number of buffered trace events (for tests).
+func (r *Recorder) EventCount() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, s := range r.shards {
+		n += len(s.events)
+	}
+	return n
+}

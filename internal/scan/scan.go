@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 
+	"sepdc/internal/obs"
 	"sepdc/internal/pool"
 )
 
@@ -68,7 +69,13 @@ func Reduce[T any](xs []T, op func(T, T) T, id T) T {
 func ExclusiveParallel[T any](xs []T, op func(T, T) T, id T) []T {
 	n := len(xs)
 	if n < parallelThreshold {
+		if obs.On() {
+			obs.Add(obs.GScanSequential, 1)
+		}
 		return Exclusive(xs, op, id)
+	}
+	if obs.On() {
+		obs.Add(obs.GScanParallel, 1)
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {

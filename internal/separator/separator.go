@@ -39,6 +39,7 @@ import (
 
 	"sepdc/internal/centerpoint"
 	"sepdc/internal/geom"
+	"sepdc/internal/obs"
 	"sepdc/internal/pts"
 	"sepdc/internal/vec"
 	"sepdc/internal/xrand"
@@ -146,6 +147,9 @@ func CandidateFlat(ps *pts.PointSet, g *xrand.RNG, opts *Options) (geom.Separato
 	n := ps.N()
 	if n == 0 {
 		return nil, errors.New("separator: no points")
+	}
+	if obs.On() {
+		obs.Add(obs.GSepCandidates, 1)
 	}
 	d := ps.Dim
 
@@ -341,6 +345,9 @@ func FindGoodFlat(ps *pts.PointSet, g *xrand.RNG, opts *Options) (Result, error)
 			res.Sep, res.Stats = sep, st
 			return res, nil
 		}
+	}
+	if obs.On() {
+		obs.Add(obs.GSepFallbacks, 1)
 	}
 	sep, err := MedianHyperplaneFlat(ps)
 	if err != nil {

@@ -26,6 +26,7 @@ import (
 
 	"sepdc/internal/geom"
 	"sepdc/internal/nbrsys"
+	"sepdc/internal/obs"
 	"sepdc/internal/separator"
 	"sepdc/internal/vec"
 	"sepdc/internal/vm"
@@ -136,6 +137,10 @@ func Build(sys *nbrsys.System, g *xrand.RNG, opts *Options) (*Tree, error) {
 	t.Root = build(sys, idx, g, opts, ctx)
 	t.Stats = summarize(t.Root)
 	t.Stats.Cost = ctx.Cost()
+	if obs.On() {
+		obs.Add(obs.GSeptreeBuilds, 1)
+		obs.Add(obs.GSeptreeForced, int64(t.Stats.ForcedLeaves))
+	}
 	return t, nil
 }
 

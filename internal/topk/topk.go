@@ -6,7 +6,11 @@
 // exact graph-equality testing between algorithms possible.
 package topk
 
-import "sort"
+import (
+	"sort"
+
+	"sepdc/internal/obs"
+)
 
 // Neighbor is a candidate neighbor: the point's index and squared distance.
 type Neighbor struct {
@@ -130,6 +134,10 @@ func NewArena(n, k int) *Arena {
 	for i := range a.lists {
 		a.lists[i] = List{K: k, items: a.items[i*k : i*k : (i+1)*k]}
 	}
+	if obs.On() {
+		obs.Add(obs.GArenaAllocs, 1)
+		obs.Add(obs.GArenaLists, int64(n))
+	}
 	return a
 }
 
@@ -150,6 +158,9 @@ func (a *Arena) Lists() []*List {
 func (a *Arena) Reset() {
 	for i := range a.lists {
 		a.lists[i].items = a.lists[i].items[:0]
+	}
+	if obs.On() {
+		obs.Add(obs.GArenaResets, 1)
 	}
 }
 

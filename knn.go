@@ -3,12 +3,15 @@ package sepdc
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
+	"time"
 
 	"sepdc/internal/brute"
 	"sepdc/internal/core"
 	"sepdc/internal/kdtree"
 	"sepdc/internal/knngraph"
+	"sepdc/internal/obs"
 	"sepdc/internal/pts"
 	"sepdc/internal/topk"
 	"sepdc/internal/vm"
@@ -46,6 +49,13 @@ type Options struct {
 	// BaseSize overrides the brute-force cutoff of the recursion
 	// (0 = the paper's max(2(k+1), log₂ n)).
 	BaseSize int
+	// Observe enables the structured metrics layer: Stats().Report carries
+	// per-phase wall times, counters, and histograms of the build. Off, the
+	// instrumentation compiles down to nil-receiver no-ops.
+	Observe bool
+	// Trace additionally records one span per recursion-node phase for
+	// Chrome trace_event export via Graph.WriteTrace. Implies Observe.
+	Trace bool
 }
 
 func (o *Options) algorithm() Algorithm {
@@ -82,6 +92,12 @@ type Stats struct {
 	Punts int
 	// FastCorrections counts marches that completed.
 	FastCorrections int
+	// Report is the full observability report (per-phase wall times,
+	// counters, histograms, runtime gauges); nil unless Options.Observe or
+	// Options.Trace was set. Counters and Histograms are deterministic for a
+	// fixed seed regardless of Workers; Phases, WallNs, and Runtime are
+	// wall-clock and schedule dependent.
+	Report *obs.BuildReport
 }
 
 // Graph is the k-nearest-neighbor graph of Definition 1.1: vertices are
@@ -93,6 +109,7 @@ type Graph struct {
 	lists []*topk.List
 	csr   *knngraph.Graph
 	stats Stats
+	rec   *obs.Recorder
 }
 
 // BuildKNNGraph computes the exact k-nearest-neighbor graph of the points.
@@ -107,9 +124,21 @@ func BuildKNNGraph(points [][]float64, k int, opts *Options) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
+	return buildFromPointSet(ps, k, opts)
+}
+
+// buildFromPointSet is the flat-storage core of BuildKNNGraph, shared with
+// FindGraphSeparator so a caller that already holds a PointSet does not pay
+// a second [][]float64 round trip.
+func buildFromPointSet(ps *pts.PointSet, k int, opts *Options) (*Graph, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("sepdc: k must be >= 1, got %d", k)
 	}
+	var rec *obs.Recorder
+	if opts != nil && (opts.Observe || opts.Trace) {
+		rec = obs.New(obs.Config{Trace: opts.Trace})
+	}
+	start := time.Now()
 	var lists []*topk.List
 	var st Stats
 	switch algo := opts.algorithm(); algo {
@@ -118,7 +147,7 @@ func BuildKNNGraph(points [][]float64, k int, opts *Options) (*Graph, error) {
 	case KDTree:
 		lists = kdtree.BuildFlat(ps, kdtree.DefaultLeafSize).AllKNN(k)
 	case Sphere, Hyperplane:
-		cOpts := &core.Options{K: k}
+		cOpts := &core.Options{K: k, Rec: rec}
 		workers := 0
 		if opts != nil {
 			cOpts.BaseSize = opts.BaseSize
@@ -138,6 +167,9 @@ func BuildKNNGraph(points [][]float64, k int, opts *Options) (*Graph, error) {
 			res, err = core.HyperplaneDNCFlat(ps, g, cOpts)
 		}
 		if err != nil {
+			if rec != nil {
+				rec.Finish(time.Since(start))
+			}
 			return nil, err
 		}
 		lists = res.Lists
@@ -149,7 +181,13 @@ func BuildKNNGraph(points [][]float64, k int, opts *Options) (*Graph, error) {
 			FastCorrections: res.Stats.FastCorrections,
 		}
 	default:
+		if rec != nil {
+			rec.Finish(time.Since(start))
+		}
 		return nil, fmt.Errorf("sepdc: unknown algorithm %q", algo)
+	}
+	if rec != nil {
+		st.Report = rec.Finish(time.Since(start))
 	}
 	return &Graph{
 		k:     k,
@@ -157,6 +195,7 @@ func BuildKNNGraph(points [][]float64, k int, opts *Options) (*Graph, error) {
 		lists: lists,
 		csr:   knngraph.FromLists(lists, k),
 		stats: st,
+		rec:   rec,
 	}, nil
 }
 
@@ -191,6 +230,16 @@ func (g *Graph) K() int { return g.k }
 
 // Stats returns construction statistics.
 func (g *Graph) Stats() Stats { return g.stats }
+
+// WriteTrace writes the build's spans as Chrome trace_event JSON, loadable
+// in chrome://tracing or Perfetto. It errors unless the graph was built
+// with Options.Trace.
+func (g *Graph) WriteTrace(w io.Writer) error {
+	if g.rec == nil {
+		return errors.New("sepdc: graph was not built with Options.Trace")
+	}
+	return g.rec.WriteTrace(w)
+}
 
 // Neighbors returns point i's k nearest neighbors in ascending (distance,
 // index) order. For point sets with at most k points the list is shorter.

@@ -25,6 +25,12 @@ type QueryStructureStats struct {
 	StoredBalls  int // Σ over leaves; O(n) by Lemma 3.1 despite duplication
 	BuildTrials  int // total separator candidates consumed
 	CriticalPath int // max separator trials on any root-leaf path (Thm 3.1)
+	Punts        int // nodes whose separator search fell back to a hyperplane
+	ForcedLeaves int // oversized leaves created after repeated no-progress
+	// SimulatedSteps/SimulatedWork are the build's cost on the paper's
+	// vector machine (critical path and processor-time product).
+	SimulatedSteps int64
+	SimulatedWork  int64
 }
 
 // NewQueryStructure builds the search structure over the k-neighborhood
@@ -62,10 +68,14 @@ func (qs *QueryStructure) CoveringBalls(q []float64) ([]int, error) {
 func (qs *QueryStructure) Stats() QueryStructureStats {
 	st := qs.tree.Stats
 	return QueryStructureStats{
-		Height:       st.Height,
-		Leaves:       st.Leaves,
-		StoredBalls:  st.TotalStored,
-		BuildTrials:  st.SeparatorTrials,
-		CriticalPath: st.CriticalTrials,
+		Height:         st.Height,
+		Leaves:         st.Leaves,
+		StoredBalls:    st.TotalStored,
+		BuildTrials:    st.SeparatorTrials,
+		CriticalPath:   st.CriticalTrials,
+		Punts:          st.Punts,
+		ForcedLeaves:   st.ForcedLeaves,
+		SimulatedSteps: st.Cost.Steps,
+		SimulatedWork:  st.Cost.Work,
 	}
 }
