@@ -1,8 +1,9 @@
 # Development entry points. `make verify` is the tier-1 gate (see ROADMAP.md).
 
 GO ?= go
+FUZZTIME ?= 60s
 
-.PHONY: build vet test test-race bench bench-json verify clean
+.PHONY: build vet test test-race bench bench-json verify fuzz chaos clean
 
 build:
 	$(GO) build ./...
@@ -13,12 +14,10 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race soak for the persistent worker pool and the scan primitives that run
-# on it (plus anything else cheap enough to race-test on every push). The
-# obs recorder's shard fork/merge rides along: its buffers are goroutine-
-# confined by the same discipline the pool's tasks are.
+# Full-repo race gate. -short skips the large soak builds whose race
+# overhead would dominate CI; the soak itself stays in plain `make test`.
 test-race:
-	$(GO) test -race ./internal/vm/... ./internal/scan/... ./internal/pool/... ./internal/obs/...
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -26,6 +25,23 @@ bench:
 # Regenerate the machine-readable BuildKNNGraph benchmark record.
 bench-json:
 	$(GO) run ./cmd/knnbench -out BENCH_knn.json
+
+# Fuzz smoke: each target gets FUZZTIME (default 60s) of coverage-guided
+# input generation on top of the committed seed corpora in testdata/fuzz.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzBuildKNNGraph$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzSerializeRoundTrip$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzInsertSequence$$' -fuzztime $(FUZZTIME) ./internal/topk/
+
+# Chaos matrix: the identity/degeneracy tests under every fault-injection
+# profile (see DESIGN.md §10). The graph is exact, so no profile may change
+# any test's outcome.
+chaos:
+	KNN_CHAOS="sep-fail=all" $(GO) test -run 'Chaos|Degenerate|Golden|AllAlgorithmsAgree|FlatBackendsMatchBrute' .
+	KNN_CHAOS="punt=all" $(GO) test -run 'Chaos|Degenerate|Golden|AllAlgorithmsAgree|FlatBackendsMatchBrute' .
+	KNN_CHAOS="march-abort=all" $(GO) test -run 'Chaos|Degenerate|Golden|AllAlgorithmsAgree|FlatBackendsMatchBrute' .
+	KNN_CHAOS="march-level=1" $(GO) test -run 'Chaos|Degenerate|Golden|AllAlgorithmsAgree|FlatBackendsMatchBrute' .
+	KNN_CHAOS="sep-fail=all;punt=all;march-level=1;stall=200us" $(GO) test -run 'Chaos|Degenerate|Golden|AllAlgorithmsAgree|FlatBackendsMatchBrute' .
 
 verify: build test vet test-race
 

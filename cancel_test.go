@@ -1,0 +1,143 @@
+package sepdc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sepdc/internal/chaos"
+)
+
+// TestCancelBeforeStart: an already-cancelled context aborts every
+// algorithm before any work happens.
+func TestCancelBeforeStart(t *testing.T) {
+	points := genPoints(100, 2, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range []Algorithm{Sphere, Hyperplane, KDTree, Brute} {
+		if _, err := BuildKNNGraphContext(ctx, points, 2, &Options{Algorithm: algo}); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", algo, err)
+		}
+	}
+	if _, err := NewQueryStructureContext(ctx, points, 2, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("NewQueryStructureContext: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancelMidBuildPrompt is the acceptance test for prompt cancellation:
+// a build held back by chaos worker stalls and forced punts (the slowest
+// path the engine has) must return context.Canceled within 100ms of the
+// cancel signal.
+func TestCancelMidBuildPrompt(t *testing.T) {
+	points := genPoints(3000, 3, 21)
+	inj := &chaos.Injector{
+		SepFailTrials: chaos.AllTrials,
+		PuntDepths:    chaos.DepthSet{All: true},
+		WorkerStall:   2 * time.Millisecond,
+	}
+	for _, algo := range []Algorithm{Sphere, Hyperplane} {
+		t.Run(string(algo), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+
+			type outcome struct {
+				err     error
+				latency time.Duration
+			}
+			var cancelled time.Time
+			done := make(chan outcome, 1)
+			go func() {
+				_, err := BuildKNNGraphContext(ctx, points, 4, &Options{
+					Algorithm: algo, Seed: 21, Workers: 4, chaos: inj,
+				})
+				done <- outcome{err: err, latency: time.Since(cancelled)}
+			}()
+
+			// Let the build get properly underway, then pull the plug.
+			time.Sleep(20 * time.Millisecond)
+			cancelled = time.Now()
+			cancel()
+
+			select {
+			case out := <-done:
+				if !errors.Is(out.err, context.Canceled) {
+					t.Fatalf("err = %v, want context.Canceled", out.err)
+				}
+				if out.latency > 100*time.Millisecond {
+					t.Fatalf("build took %v after cancel, want <= 100ms", out.latency)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("build did not return within 5s of cancellation")
+			}
+		})
+	}
+}
+
+// TestCancelDeadline: a context deadline surfaces as DeadlineExceeded from
+// a chaos-slowed build.
+func TestCancelDeadline(t *testing.T) {
+	points := genPoints(3000, 3, 23)
+	inj := &chaos.Injector{
+		SepFailTrials: chaos.AllTrials,
+		PuntDepths:    chaos.DepthSet{All: true},
+		WorkerStall:   2 * time.Millisecond,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	_, err := BuildKNNGraphContext(ctx, points, 4, &Options{
+		Algorithm: Sphere, Seed: 23, Workers: 4, chaos: inj,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestContextBuildMatchesPlainBuild: threading a live context through the
+// build changes nothing about the result.
+func TestContextBuildMatchesPlainBuild(t *testing.T) {
+	points := genPoints(300, 2, 5)
+	for _, algo := range []Algorithm{Sphere, Hyperplane} {
+		plain, err := BuildKNNGraph(points, 3, &Options{Algorithm: algo, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctxed, err := BuildKNNGraphContext(context.Background(), points, 3, &Options{Algorithm: algo, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(plain, ctxed) {
+			t.Fatalf("%s: context build differs from plain build", algo)
+		}
+	}
+}
+
+// TestQueryStructureContextCancel: the query-side structure build observes
+// cancellation too (it is the punt path's inner engine, so this also
+// pins down the behavior queryCorrect depends on).
+func TestQueryStructureContextCancel(t *testing.T) {
+	points := genPoints(2000, 3, 31)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := NewQueryStructureContext(ctx, points, 4, 31)
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want nil or context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("build did not return within 5s of cancellation")
+	}
+
+	// And a pre-cancelled context never builds at all.
+	pre, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := NewQueryStructureContext(pre, points, 4, 31); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: err = %v, want context.Canceled", err)
+	}
+}

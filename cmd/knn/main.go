@@ -13,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -50,6 +51,7 @@ func run() error {
 	trace := flag.String("trace", "", "write Chrome trace_event JSON of the build to file (implies -obs)")
 	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address")
 	debugHold := flag.Duration("debug-hold", 0, "keep the process (and -debug-addr server) alive this long after the build")
+	timeout := flag.Duration("timeout", 0, "abandon the build after this long (0 = no limit)")
 	flag.Parse()
 
 	if *debugAddr != "" {
@@ -81,8 +83,15 @@ func run() error {
 		}
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
-	g, err := sepdc.BuildKNNGraph(points, *k, &sepdc.Options{
+	g, err := sepdc.BuildKNNGraphContext(ctx, points, *k, &sepdc.Options{
 		Algorithm: sepdc.Algorithm(*algo),
 		Seed:      *seed,
 		Workers:   *workers,

@@ -1,0 +1,172 @@
+package sepdc
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// allAlgorithms are the backends every degenerate case is cross-checked
+// across; they must agree exactly (ties broken by index) even when the
+// geometry gives the separator machinery nothing to work with.
+var allAlgorithms = []Algorithm{Sphere, Hyperplane, KDTree, Brute}
+
+// assertAllAgree builds the graph with every algorithm and fails unless
+// all of them match the Brute ground truth.
+func assertAllAgree(t *testing.T, points [][]float64, k int) {
+	t.Helper()
+	truth, err := BuildKNNGraph(points, k, &Options{Algorithm: Brute})
+	if err != nil {
+		t.Fatalf("brute: %v", err)
+	}
+	for _, algo := range allAlgorithms[:3] {
+		g, err := BuildKNNGraph(points, k, &Options{Algorithm: algo, Seed: 17})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !Equal(g, truth) {
+			t.Fatalf("%s disagrees with brute force", algo)
+		}
+	}
+}
+
+// TestDegenerateAllCoincident: every point identical. All pairwise
+// distances are zero; every separator trial degenerates; the graph is
+// complete on min(k, n−1) neighbors at distance 0.
+func TestDegenerateAllCoincident(t *testing.T) {
+	for _, n := range []int{2, 5, 17, 64} {
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = []float64{1.5, -2.5, 3.25}
+		}
+		assertAllAgree(t, points, 3)
+		g, err := BuildKNNGraph(points, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 3
+		if n-1 < want {
+			want = n - 1
+		}
+		for i := 0; i < n; i++ {
+			nbrs := g.Neighbors(i)
+			if len(nbrs) != want {
+				t.Fatalf("n=%d: point %d has %d neighbors, want %d", n, i, len(nbrs), want)
+			}
+			for _, nb := range nbrs {
+				if nb.Distance != 0 {
+					t.Fatalf("n=%d: coincident points at distance %v", n, nb.Distance)
+				}
+			}
+		}
+	}
+}
+
+// TestDegenerateCollinear: all points on one line — every sphere separator
+// candidate sees a measure-zero configuration.
+func TestDegenerateCollinear(t *testing.T) {
+	const n = 50
+	points := make([][]float64, n)
+	for i := range points {
+		x := float64(i)
+		points[i] = []float64{x, 2 * x, -x} // a line through the origin in 3-space
+	}
+	assertAllAgree(t, points, 4)
+}
+
+// TestDegenerateCospherical: all points on one circle — the stereographic
+// lifting of the sphere-separator search maps them to a degenerate set.
+func TestDegenerateCospherical(t *testing.T) {
+	const n = 60
+	points := make([][]float64, n)
+	for i := range points {
+		a := 2 * math.Pi * float64(i) / n
+		points[i] = []float64{math.Cos(a), math.Sin(a)}
+	}
+	assertAllAgree(t, points, 3)
+}
+
+// TestDegenerateLatticeTies: a grid maximizes distance ties; tie-breaking
+// by smaller index must make every backend agree bit for bit.
+func TestDegenerateLatticeTies(t *testing.T) {
+	var points [][]float64
+	for x := 0; x < 7; x++ {
+		for y := 0; y < 7; y++ {
+			points = append(points, []float64{float64(x), float64(y)})
+		}
+	}
+	assertAllAgree(t, points, 4)
+}
+
+// TestDegenerateTinyInputs: n ≤ k and n = k+1 — the base case IS the whole
+// problem, and lists cannot fill to k.
+func TestDegenerateTinyInputs(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{1, 1}, {1, 5}, {2, 1}, {2, 5}, {3, 3}, {4, 3}, {5, 4}, {6, 5},
+	}
+	for _, tc := range cases {
+		points := genPoints(tc.n, 2, uint64(tc.n*10+tc.k))
+		assertAllAgree(t, points, tc.k)
+		g, err := BuildKNNGraph(points, tc.k, nil)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		want := tc.k
+		if tc.n-1 < want {
+			want = tc.n - 1
+		}
+		for i := 0; i < tc.n; i++ {
+			if got := len(g.Neighbors(i)); got != want {
+				t.Fatalf("n=%d k=%d: point %d has %d neighbors, want %d", tc.n, tc.k, i, got, want)
+			}
+		}
+	}
+}
+
+// TestDegenerateOneDimensional: d = 1 is legal and exercises the lowest-
+// dimensional sphere separators (two-point "spheres" on a line).
+func TestDegenerateOneDimensional(t *testing.T) {
+	points := genPoints(80, 1, 13)
+	assertAllAgree(t, points, 3)
+}
+
+// TestRejectNonFinite: NaN and ±Inf coordinates are rejected with the
+// typed sentinel, naming the offending point, for every algorithm.
+func TestRejectNonFinite(t *testing.T) {
+	bads := map[string][][]float64{
+		"nan":     {{0, 0}, {1, math.NaN()}},
+		"pos-inf": {{0, 0}, {math.Inf(1), 1}},
+		"neg-inf": {{math.Inf(-1), 0}, {1, 1}},
+	}
+	for name, points := range bads {
+		for _, algo := range allAlgorithms {
+			_, err := BuildKNNGraph(points, 1, &Options{Algorithm: algo})
+			if !errors.Is(err, ErrNonFiniteCoordinate) {
+				t.Errorf("%s/%s: err = %v, want ErrNonFiniteCoordinate", name, algo, err)
+			}
+		}
+		if _, err := NewQueryStructure(points, 1, 1); !errors.Is(err, ErrNonFiniteCoordinate) {
+			t.Errorf("%s/query: err = %v, want ErrNonFiniteCoordinate", name, err)
+		}
+	}
+}
+
+// TestRejectShapeErrors: empty input, ragged rows, and zero-dimensional
+// points are typed errors too.
+func TestRejectShapeErrors(t *testing.T) {
+	if _, err := BuildKNNGraph(nil, 1, nil); !errors.Is(err, ErrNoPoints) {
+		t.Errorf("nil input: err = %v, want ErrNoPoints", err)
+	}
+	if _, err := BuildKNNGraph([][]float64{}, 1, nil); !errors.Is(err, ErrNoPoints) {
+		t.Errorf("empty input: err = %v, want ErrNoPoints", err)
+	}
+	if _, err := BuildKNNGraph([][]float64{{1, 2}, {3}}, 1, nil); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("ragged rows: err = %v, want ErrDimensionMismatch", err)
+	}
+	if _, err := BuildKNNGraph([][]float64{{}, {}}, 1, nil); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("zero-dim: err = %v, want ErrDimensionMismatch", err)
+	}
+	if _, err := NewQueryStructure([][]float64{{1}, {2, 3}}, 1, 1); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("query ragged: err = %v, want ErrDimensionMismatch", err)
+	}
+}

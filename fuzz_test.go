@@ -1,0 +1,184 @@
+package sepdc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+// pointsFromBytes decodes the fuzzer's raw bytes into a point set: d from
+// dRaw, then consecutive 8-byte little-endian float64 coordinates. The
+// mapping is total — any byte string yields some input, including ones
+// with NaN/Inf coordinates, which the builder must reject (never crash
+// on, never silently accept).
+func pointsFromBytes(data []byte, dRaw, kRaw uint8) (points [][]float64, k int) {
+	d := int(dRaw)%4 + 1
+	k = int(kRaw)%5 + 1
+	n := len(data) / (8 * d)
+	if n > 128 {
+		n = 128
+	}
+	points = make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		p := make([]float64, d)
+		for c := 0; c < d; c++ {
+			bits := binary.LittleEndian.Uint64(data[(i*d+c)*8:])
+			p[c] = math.Float64frombits(bits)
+		}
+		points = append(points, p)
+	}
+	return points, k
+}
+
+func finitePoints(points [][]float64) bool {
+	for _, p := range points {
+		for _, x := range p {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FuzzBuildKNNGraph feeds arbitrary byte-derived point sets through the
+// divide-and-conquer builders and checks the full exactness contract
+// against brute force: same graph, sorted tie-broken lists, no self
+// edges, list lengths min(k, n−1).
+func FuzzBuildKNNGraph(f *testing.F) {
+	f.Add([]byte{}, uint8(0), uint8(0))
+	coords := func(vals ...float64) []byte {
+		var buf bytes.Buffer
+		for _, v := range vals {
+			binary.Write(&buf, binary.LittleEndian, v)
+		}
+		return buf.Bytes()
+	}
+	f.Add(coords(0, 0, 1, 0, 0, 1, 1, 1), uint8(1), uint8(1))   // unit square, d=2
+	f.Add(coords(1, 1, 1, 1, 1, 1), uint8(2), uint8(4))         // coincident, d=3
+	f.Add(coords(0, 1, 2, 3, 4, 5, 6, 7), uint8(0), uint8(2))   // line, d=1
+	f.Add(coords(0, 0, math.NaN(), 1), uint8(1), uint8(0))      // NaN rejection
+	f.Add(coords(math.Inf(1), 0, 1, 2), uint8(1), uint8(0))     // Inf rejection
+	f.Add(coords(1e300, -1e300, 1e-300, 0), uint8(1), uint8(3)) // extreme magnitudes
+	f.Add(coords(0.5, 0.5, 0.5, 0.25, 0.25, 0.125), uint8(2), uint8(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, dRaw, kRaw uint8) {
+		points, k := pointsFromBytes(data, dRaw, kRaw)
+		if len(points) == 0 {
+			if _, err := BuildKNNGraph(points, k, nil); !errors.Is(err, ErrNoPoints) {
+				t.Fatalf("empty input: err = %v, want ErrNoPoints", err)
+			}
+			return
+		}
+		if !finitePoints(points) {
+			for _, algo := range []Algorithm{Sphere, Hyperplane, KDTree, Brute} {
+				if _, err := BuildKNNGraph(points, k, &Options{Algorithm: algo}); !errors.Is(err, ErrNonFiniteCoordinate) {
+					t.Fatalf("%s: non-finite input: err = %v, want ErrNonFiniteCoordinate", algo, err)
+				}
+			}
+			return
+		}
+		truth, err := BuildKNNGraph(points, k, &Options{Algorithm: Brute})
+		if err != nil {
+			t.Fatalf("brute: %v", err)
+		}
+		n := len(points)
+		wantLen := k
+		if n-1 < wantLen {
+			wantLen = n - 1
+		}
+		for _, algo := range []Algorithm{Sphere, Hyperplane} {
+			g, err := BuildKNNGraph(points, k, &Options{Algorithm: algo, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", algo, err)
+			}
+			if !Equal(g, truth) {
+				t.Fatalf("%s disagrees with brute force on n=%d d=%d k=%d", algo, n, len(points[0]), k)
+			}
+			for i := 0; i < n; i++ {
+				nbrs := g.Neighbors(i)
+				if len(nbrs) != wantLen {
+					t.Fatalf("%s: point %d has %d neighbors, want %d", algo, i, len(nbrs), wantLen)
+				}
+				for j, nb := range nbrs {
+					if nb.Index == i {
+						t.Fatalf("%s: point %d lists itself", algo, i)
+					}
+					if j > 0 {
+						prev := nbrs[j-1]
+						if nb.Distance < prev.Distance ||
+							(nb.Distance == prev.Distance && nb.Index < prev.Index) {
+							t.Fatalf("%s: point %d list not in (distance, index) order", algo, i)
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzSerializeRoundTrip attacks the graph decoder two ways at once: the
+// raw fuzz bytes go straight into DecodeGraph (which must reject garbage
+// with an error, never panic or over-allocate), and the same bytes,
+// reinterpreted as points, drive a build → Encode → Decode → Equal round
+// trip.
+func FuzzSerializeRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(0), uint8(0))
+	f.Add([]byte("not a gob stream"), uint8(1), uint8(1))
+	// A well-formed encoding as a seed so the fuzzer explores mutations of
+	// real frames, not just the error path.
+	{
+		g, err := BuildKNNGraph([][]float64{{0, 0}, {1, 0}, {0, 1}, {2, 2}}, 2, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := g.Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes(), uint8(1), uint8(1))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, dRaw, kRaw uint8) {
+		// Garbage in, error out — decoding arbitrary bytes must be safe.
+		if g, err := DecodeGraph(bytes.NewReader(data)); err == nil {
+			// The rare accidentally-valid frame must at least round-trip.
+			var buf bytes.Buffer
+			if err := g.Encode(&buf); err != nil {
+				t.Fatalf("re-encode of decoded graph: %v", err)
+			}
+			g2, err := DecodeGraph(&buf)
+			if err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			if !Equal(g, g2) {
+				t.Fatal("decoded graph does not survive a round trip")
+			}
+		}
+
+		points, k := pointsFromBytes(data, dRaw, kRaw)
+		if len(points) == 0 || !finitePoints(points) {
+			return
+		}
+		g, err := BuildKNNGraph(points, k, nil)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := g.Encode(&buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		rt, err := DecodeGraph(&buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !Equal(g, rt) {
+			t.Fatal("graph does not survive Encode/DecodeGraph round trip")
+		}
+		if rt.K() != g.K() || rt.NumPoints() != g.NumPoints() || rt.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed graph shape")
+		}
+	})
+}

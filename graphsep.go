@@ -1,6 +1,7 @@
 package sepdc
 
 import (
+	"context"
 	"fmt"
 
 	"sepdc/internal/geom"
@@ -47,7 +48,7 @@ func FindGraphSeparator(points [][]float64, k int, seed uint64) (*GraphSeparator
 	sys := nbrsys.KNeighborhood(vecs, k)
 	// Reuse the flat point set already built above instead of converting
 	// the [][]float64 rows a second time.
-	graph, err := buildFromPointSet(ps, k, &Options{Algorithm: KDTree})
+	graph, err := buildFromPointSet(context.Background(), ps, k, &Options{Algorithm: KDTree})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,304 @@
+// Package chaos is the library's deterministic fault-injection layer: it
+// forces the divide and conquer down its unlucky paths on demand, so the
+// code the paper's probabilistic analysis exists for — separator trials
+// that fail, corrections that punt, marches that abort, workers that lag —
+// is exercised by every test run instead of only when a seed happens to be
+// unlucky.
+//
+// Design mirrors package obs: a nil *Injector is the zero-overhead no-op
+// (every method nil-checks its receiver and returns the "no fault" answer),
+// so production builds pay one predictable branch per hook site. An enabled
+// Injector is immutable after construction and every decision is a pure
+// function of deterministic algorithm state (trial number, recursion depth,
+// march level) — never of wall time or scheduling — so a chaos-injected
+// build is exactly as reproducible as a clean one. The worker stall is the
+// single deliberate exception: it perturbs real scheduling (that is its
+// job) while leaving every deterministic output untouched.
+//
+// Injections change which path computes the answer, never the answer: the
+// k-NN graph is exact under any injection profile, which is the Punting
+// Lemma (Section 4) in executable form and the property the chaos test
+// suite asserts.
+//
+// An Injector is built either in code (Parse, or a struct literal in
+// tests) or from the KNN_CHAOS environment variable, a semicolon-separated
+// clause list:
+//
+//	sep-fail=N|all     fail the first N candidate trials of every
+//	                   separator search (all: exhaust the budget, forcing
+//	                   the median-hyperplane punt at every node)
+//	punt=D1,D2|all     force the threshold punt at recursion depths Di
+//	march-abort=D|all  force both fast-correction marches at depths Di
+//	                   to abort (the Lemma 6.2 violation path)
+//	march-level=N      abort any march that reaches level N (≥ 1)
+//	stall=DUR          sleep every accepted worker-pool task for DUR
+//	                   before running it (e.g. 500us, 2ms)
+//
+// Example: KNN_CHAOS="sep-fail=all;punt=0,1;stall=1ms" go test ./...
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EnvVar is the environment variable FromEnv reads the injection spec from.
+const EnvVar = "KNN_CHAOS"
+
+// AllTrials as Injector.SepFailTrials fails every separator trial.
+const AllTrials = -1
+
+// DepthSet selects recursion depths (or march levels) for an injection:
+// either every depth or an explicit set.
+type DepthSet struct {
+	All    bool
+	Depths map[int]bool
+}
+
+// Contains reports whether depth d is selected.
+func (s DepthSet) Contains(d int) bool {
+	if s.All {
+		return true
+	}
+	return s.Depths[d]
+}
+
+func (s DepthSet) enabled() bool { return s.All || len(s.Depths) > 0 }
+
+func (s DepthSet) String() string {
+	if s.All {
+		return "all"
+	}
+	ds := make([]int, 0, len(s.Depths))
+	for d := range s.Depths {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	parts := make([]string, len(ds))
+	for i, d := range ds {
+		parts[i] = strconv.Itoa(d)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Injector holds one immutable fault-injection profile. The zero value
+// injects nothing; a nil *Injector is the canonical disabled state and is
+// safe to call every method on.
+type Injector struct {
+	// SepFailTrials > 0 forces the first N candidate trials of every
+	// separator search to be judged failures regardless of their split
+	// ratio; AllTrials (-1) fails every trial, exhausting the retry budget
+	// so FindGood punts to the median hyperplane at every node.
+	SepFailTrials int
+	// PuntDepths forces the crossing-set threshold punt (the ι ≥ m^μ
+	// branch) at recursion nodes of the selected depths.
+	PuntDepths DepthSet
+	// MarchAbortDepths forces both fast-correction marches at nodes of the
+	// selected depths to abort, sending the corrections down the
+	// query-structure punt path.
+	MarchAbortDepths DepthSet
+	// MarchAbortLevel > 0 aborts any fast-correction march that reaches
+	// this level of the partition tree (levels count from 1 at the root).
+	MarchAbortLevel int
+	// WorkerStall > 0 delays every task accepted by a worker pool by this
+	// duration before it runs, shaking out ordering assumptions in the
+	// fork-join and shard-merge paths. It perturbs schedules only; all
+	// deterministic outputs are unaffected.
+	WorkerStall time.Duration
+}
+
+// TrialFails reports whether separator candidate number trial (1-based)
+// must be judged a failure.
+func (in *Injector) TrialFails(trial int) bool {
+	if in == nil {
+		return false
+	}
+	return in.SepFailTrials == AllTrials || trial <= in.SepFailTrials
+}
+
+// ForcePunt reports whether the recursion node at the given depth must
+// take the threshold punt.
+func (in *Injector) ForcePunt(depth int) bool {
+	if in == nil {
+		return false
+	}
+	return in.PuntDepths.Contains(depth)
+}
+
+// ForceMarchAbort reports whether the fast-correction marches at the given
+// node depth must abort.
+func (in *Injector) ForceMarchAbort(depth int) bool {
+	if in == nil {
+		return false
+	}
+	return in.MarchAbortDepths.Contains(depth)
+}
+
+// AbortMarchAtLevel reports whether a march reaching the given level
+// (1-based) must abort there.
+func (in *Injector) AbortMarchAtLevel(level int) bool {
+	if in == nil {
+		return false
+	}
+	return in.MarchAbortLevel > 0 && level >= in.MarchAbortLevel
+}
+
+// StallDuration returns the configured worker stall (0 when disabled).
+func (in *Injector) StallDuration() time.Duration {
+	if in == nil {
+		return 0
+	}
+	return in.WorkerStall
+}
+
+// Stall sleeps for the configured worker stall. A close of done (typically
+// a context's Done channel) cuts the sleep short so a cancelled build is
+// not held hostage by its own fault injection.
+func (in *Injector) Stall(done <-chan struct{}) {
+	if in == nil || in.WorkerStall <= 0 {
+		return
+	}
+	if done == nil {
+		time.Sleep(in.WorkerStall)
+		return
+	}
+	t := time.NewTimer(in.WorkerStall)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-done:
+	}
+}
+
+// Enabled reports whether the injector injects anything at all.
+func (in *Injector) Enabled() bool {
+	if in == nil {
+		return false
+	}
+	return in.SepFailTrials != 0 || in.PuntDepths.enabled() ||
+		in.MarchAbortDepths.enabled() || in.MarchAbortLevel > 0 || in.WorkerStall > 0
+}
+
+// String renders the profile in spec syntax (round-trippable via Parse).
+func (in *Injector) String() string {
+	if !in.Enabled() {
+		return ""
+	}
+	var parts []string
+	if in.SepFailTrials == AllTrials {
+		parts = append(parts, "sep-fail=all")
+	} else if in.SepFailTrials > 0 {
+		parts = append(parts, fmt.Sprintf("sep-fail=%d", in.SepFailTrials))
+	}
+	if in.PuntDepths.enabled() {
+		parts = append(parts, "punt="+in.PuntDepths.String())
+	}
+	if in.MarchAbortDepths.enabled() {
+		parts = append(parts, "march-abort="+in.MarchAbortDepths.String())
+	}
+	if in.MarchAbortLevel > 0 {
+		parts = append(parts, fmt.Sprintf("march-level=%d", in.MarchAbortLevel))
+	}
+	if in.WorkerStall > 0 {
+		parts = append(parts, "stall="+in.WorkerStall.String())
+	}
+	return strings.Join(parts, ";")
+}
+
+// Parse builds an Injector from a spec string (see the package comment for
+// the grammar). An empty or all-whitespace spec returns (nil, nil) — the
+// disabled injector — so callers can pass os.Getenv output straight in.
+func Parse(spec string) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	in := &Injector{}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: clause %q is not key=value", clause)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "sep-fail":
+			if val == "all" {
+				in.SepFailTrials = AllTrials
+				break
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("chaos: sep-fail wants a positive count or \"all\", got %q", val)
+			}
+			in.SepFailTrials = n
+		case "punt":
+			ds, err := parseDepths(key, val)
+			if err != nil {
+				return nil, err
+			}
+			in.PuntDepths = ds
+		case "march-abort":
+			ds, err := parseDepths(key, val)
+			if err != nil {
+				return nil, err
+			}
+			in.MarchAbortDepths = ds
+		case "march-level":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("chaos: march-level wants a level >= 1, got %q", val)
+			}
+			in.MarchAbortLevel = n
+		case "stall":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("chaos: stall wants a positive duration, got %q", val)
+			}
+			in.WorkerStall = d
+		default:
+			return nil, fmt.Errorf("chaos: unknown clause %q", key)
+		}
+	}
+	if !in.Enabled() {
+		return nil, nil
+	}
+	return in, nil
+}
+
+func parseDepths(key, val string) (DepthSet, error) {
+	if val == "all" {
+		return DepthSet{All: true}, nil
+	}
+	set := make(map[int]bool)
+	for _, part := range strings.Split(val, ",") {
+		part = strings.TrimSpace(part)
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 {
+			return DepthSet{}, fmt.Errorf("chaos: %s wants \"all\" or a comma list of depths >= 0, got %q", key, val)
+		}
+		set[n] = true
+	}
+	if len(set) == 0 {
+		return DepthSet{}, fmt.Errorf("chaos: %s wants at least one depth", key)
+	}
+	return DepthSet{Depths: set}, nil
+}
+
+// FromEnv parses the KNN_CHAOS environment variable. Unset or empty means
+// no injection (nil, nil). The variable is re-read on every call so tests
+// can drive it with t.Setenv; parsing is trivial next to a build.
+func FromEnv() (*Injector, error) {
+	in, err := Parse(os.Getenv(EnvVar))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", EnvVar, err)
+	}
+	return in, nil
+}

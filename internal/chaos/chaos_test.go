@@ -1,0 +1,129 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if in.TrialFails(1) || in.ForcePunt(0) || in.ForceMarchAbort(3) || in.AbortMarchAtLevel(1) {
+		t.Error("nil injector injected a fault")
+	}
+	if in.StallDuration() != 0 {
+		t.Error("nil injector has a stall")
+	}
+	if in.Enabled() {
+		t.Error("nil injector enabled")
+	}
+	if in.String() != "" {
+		t.Errorf("nil injector String = %q", in.String())
+	}
+	in.Stall(nil) // must not block or panic
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	specs := []string{
+		"sep-fail=all",
+		"sep-fail=3",
+		"punt=all",
+		"punt=0,2,5",
+		"march-abort=all",
+		"march-abort=1",
+		"march-level=4",
+		"stall=2ms",
+		"sep-fail=all;punt=0,1;march-abort=all;march-level=2;stall=500µs",
+	}
+	for _, spec := range specs {
+		in, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if in == nil || !in.Enabled() {
+			t.Fatalf("Parse(%q) disabled", spec)
+		}
+		back, err := Parse(in.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", in.String(), err)
+		}
+		if back.String() != in.String() {
+			t.Errorf("spec %q does not round-trip: %q vs %q", spec, in.String(), back.String())
+		}
+	}
+}
+
+func TestParseEmptyAndInvalid(t *testing.T) {
+	for _, spec := range []string{"", "  ", ";;"} {
+		in, err := Parse(spec)
+		if err != nil || in != nil {
+			t.Errorf("Parse(%q) = %v, %v; want nil, nil", spec, in, err)
+		}
+	}
+	for _, spec := range []string{
+		"bogus=1", "sep-fail", "sep-fail=0", "sep-fail=x",
+		"punt=", "punt=-1", "march-abort=1.5", "march-level=0",
+		"stall=fast", "stall=-1ms", "stall=0s",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParseFromEnv(t *testing.T) {
+	t.Setenv(EnvVar, "punt=all;stall=1ms")
+	in, err := FromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.ForcePunt(7) || in.StallDuration() != time.Millisecond {
+		t.Errorf("env profile not applied: %+v", in)
+	}
+	t.Setenv(EnvVar, "nope=1")
+	if _, err := FromEnv(); err == nil {
+		t.Error("invalid env spec accepted")
+	}
+	t.Setenv(EnvVar, "")
+	in, err = FromEnv()
+	if err != nil || in != nil {
+		t.Errorf("empty env: got %v, %v", in, err)
+	}
+}
+
+func TestDecisionsAreDeterministic(t *testing.T) {
+	in, err := Parse("sep-fail=2;punt=1,3;march-abort=0;march-level=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trial failures: first N only.
+	for trial, want := range map[int]bool{1: true, 2: true, 3: false, 64: false} {
+		if got := in.TrialFails(trial); got != want {
+			t.Errorf("TrialFails(%d) = %v", trial, got)
+		}
+	}
+	for depth, want := range map[int]bool{0: false, 1: true, 2: false, 3: true} {
+		if got := in.ForcePunt(depth); got != want {
+			t.Errorf("ForcePunt(%d) = %v", depth, got)
+		}
+	}
+	if !in.ForceMarchAbort(0) || in.ForceMarchAbort(1) {
+		t.Error("march-abort depth set wrong")
+	}
+	// Level aborts trigger at the level and beyond.
+	for level, want := range map[int]bool{1: false, 4: false, 5: true, 9: true} {
+		if got := in.AbortMarchAtLevel(level); got != want {
+			t.Errorf("AbortMarchAtLevel(%d) = %v", level, got)
+		}
+	}
+}
+
+func TestStallIsInterruptible(t *testing.T) {
+	in := &Injector{WorkerStall: 10 * time.Second}
+	done := make(chan struct{})
+	close(done)
+	start := time.Now()
+	in.Stall(done)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("closed done channel did not cut the stall short (%v)", elapsed)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sepdc/internal/chaos"
+	"sepdc/internal/pointgen"
+	"sepdc/internal/separator"
+	"sepdc/internal/xrand"
+)
+
+// TestPuntingLemmaDepthBound is the Punting Lemma (Section 4) as a test:
+// with chaos failing EVERY separator trial, each node's random search
+// exhausts its budget and punts to the exact median hyperplane. The
+// lemma's content is that this worst case still terminates with O(log n)
+// recursion depth and an exact graph — the fallback halves the point set
+// deterministically, so depth ≤ log₂ n plus the base-case tail.
+func TestPuntingLemmaDepthBound(t *testing.T) {
+	inj := &chaos.Injector{SepFailTrials: chaos.AllTrials}
+	g := xrand.New(41)
+	for _, n := range []int{200, 800, 3200} {
+		pts := pointgen.Dedup(pointgen.MustGenerate(pointgen.UniformCube, n, 3, g.Split()))
+		opts := &Options{K: 3, Chaos: inj, Sep: &separator.Options{Chaos: inj}}
+		res, err := SphereDNC(pts, g.Split(), opts)
+		if err != nil {
+			t.Fatalf("n=%d: %v", len(pts), err)
+		}
+		st := res.Stats
+
+		// Every internal node's separator search must have punted: no trial
+		// was ever allowed to succeed.
+		if st.SeparatorPunts != st.Nodes {
+			t.Errorf("n=%d: %d punts over %d nodes, want every node to punt",
+				len(pts), st.SeparatorPunts, st.Nodes)
+		}
+		if st.Nodes == 0 {
+			t.Fatalf("n=%d: recursion never forked (no internal nodes)", len(pts))
+		}
+
+		// The depth bound. The median hyperplane splits ⌈m/2⌉ / ⌊m/2⌋, so the
+		// recursion depth to the base-case size is at most log₂(n) + O(1);
+		// 2·log₂(n) leaves generous slack without admitting a linear chain.
+		maxDepth := 2 * int(math.Ceil(math.Log2(float64(len(pts)))))
+		if st.MaxDepth > maxDepth {
+			t.Errorf("n=%d: recursion depth %d exceeds %d (2·log₂ n)",
+				len(pts), st.MaxDepth, maxDepth)
+		}
+
+		// Termination alone is not enough — the all-punts build is still exact.
+		assertExact(t, pts, res.Lists, 3, "all-punts")
+	}
+}
+
+// TestChaosForcedPathsStayExact drives the core entry points directly
+// under each forced-fault profile, checking exactness below the public
+// wrapper (so a future wrapper bug cannot mask a core regression).
+func TestChaosForcedPathsStayExact(t *testing.T) {
+	g := xrand.New(43)
+	pts := pointgen.Dedup(pointgen.MustGenerate(pointgen.Gaussian, 600, 2, g))
+	profiles := map[string]*chaos.Injector{
+		"force-punt-everywhere": {PuntDepths: chaos.DepthSet{All: true}},
+		"force-march-aborts":    {MarchAbortDepths: chaos.DepthSet{All: true}},
+		"abort-at-level-1":      {MarchAbortLevel: 1},
+		"fail-first-3-trials":   {SepFailTrials: 3},
+	}
+	for name, inj := range profiles {
+		opts := &Options{K: 4, Chaos: inj, Sep: &separator.Options{Chaos: inj}}
+		res, err := SphereDNC(pts, g.Split(), opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertExact(t, pts, res.Lists, 4, name)
+		switch name {
+		case "force-punt-everywhere":
+			if res.Stats.FastCorrections != 0 {
+				t.Errorf("%s: %d fast corrections ran, want 0", name, res.Stats.FastCorrections)
+			}
+			if res.Stats.ThresholdPunts == 0 {
+				t.Errorf("%s: no threshold punts recorded", name)
+			}
+		case "force-march-aborts", "abort-at-level-1":
+			if res.Stats.FastCorrections != 0 {
+				t.Errorf("%s: %d marches completed, want 0", name, res.Stats.FastCorrections)
+			}
+			if res.Stats.MarchAborts == 0 {
+				t.Errorf("%s: no march aborts recorded", name)
+			}
+		}
+	}
+}

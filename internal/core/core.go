@@ -27,6 +27,7 @@ import (
 	"math"
 	"sync"
 
+	"sepdc/internal/chaos"
 	"sepdc/internal/march"
 	"sepdc/internal/obs"
 	"sepdc/internal/separator"
@@ -63,6 +64,12 @@ type Options struct {
 	// Rec is the observability recorder (package obs). Nil disables the
 	// layer; every instrumentation site then reduces to a nil check.
 	Rec *obs.Recorder
+	// Chaos is the deterministic fault injector: forced threshold punts
+	// and march aborts at chosen depths, and level-triggered aborts inside
+	// the marches. Separator-trial failures are injected via Sep.Chaos.
+	// Nil (the default) injects nothing. Injections reroute work onto the
+	// punt paths; the computed lists are exact either way.
+	Chaos *chaos.Injector
 }
 
 func (o *Options) k() int {
@@ -118,6 +125,13 @@ func (o *Options) rec() *obs.Recorder {
 	return o.Rec
 }
 
+func (o *Options) chaos() *chaos.Injector {
+	if o == nil {
+		return nil
+	}
+	return o.Chaos
+}
+
 // Stats instruments one divide-and-conquer run. Counter semantics follow
 // the paper's cost accounting; all counters are totals over the recursion.
 type Stats struct {
@@ -132,6 +146,7 @@ type Stats struct {
 	Duplications     int // crossing-ball duplications during marches (Lemma 6.4)
 	CandidatePairs   int // (ball, point) hits offered to the k-NN lists
 	MaxMarchActive   int // max active pairs at any march level (Lemma 6.2)
+	MaxDepth         int // deepest recursion node reached (root = 0)
 	Cost             vm.Cost
 	Profiles         [][]int // per-march active-per-level profiles (optional)
 }

@@ -30,7 +30,9 @@ func crossing(ps *pts.PointSet, lists []*topk.List, side []int, sep geom.Separat
 		}
 		// Inflate the radius a hair: sqrt rounding must never demote a
 		// crossing ball to interior/exterior (missing a tie candidate).
-		r := math.Sqrt(r2) * (1 + 1e-12)
+		// The Nextafter bump handles squared-distance underflow — r2 == 0
+		// still admits ties out to sqrt(minSubnormal) ≈ 1.5e-162.
+		r := math.Sqrt(math.Nextafter(r2, math.Inf(1))) * (1 + 1e-12)
 		if sep.ClassifyBall(ps.At(i), r) == geom.Crossing {
 			out = append(out, i)
 		}
@@ -69,7 +71,7 @@ func fastCorrect(ps *pts.PointSet, lists []*topk.List, cross []int, otherTree *m
 	}
 	sp := sh.Begin()
 	balls := ballsOf(ps, lists, cross)
-	hits, st := march.DownFlat(otherTree, ps, balls, activeLimit, ctx)
+	hits, st := march.DownFlatChaos(otherTree, ps, balls, activeLimit, ctx, opts.chaos())
 	tl.add(func(s *Stats) {
 		s.Duplications += st.Duplications
 		if st.MaxActive > s.MaxMarchActive {
@@ -113,9 +115,9 @@ func fastCorrect(ps *pts.PointSet, lists []*topk.List, cross []int, otherTree *m
 // side (there are at most k of them per side in practice, and the scan's
 // cost is charged faithfully).
 func queryCorrect(ps *pts.PointSet, lists []*topk.List, cross []int, otherPts []int,
-	g *xrand.RNG, opts *Options, ctx *vm.Ctx, tl *tally, sh *obs.Shard) {
+	g *xrand.RNG, opts *Options, ctx *vm.Ctx, tl *tally, sh *obs.Shard, cc canceller) {
 
-	if len(cross) == 0 || len(otherPts) == 0 {
+	if len(cross) == 0 || len(otherPts) == 0 || cc.cancelled() {
 		return
 	}
 	sp := sh.Begin()
@@ -153,11 +155,17 @@ func queryCorrect(ps *pts.PointSet, lists []*topk.List, cross []int, otherPts []
 	for j, i := range finite {
 		r2, _ := lists[i].Radius2()
 		centers[j] = ps.At(i)
-		radii[j] = math.Sqrt(r2) * (1 + 1e-12) // inflate: never lose a tie
+		// Inflate, and bump past squared-distance underflow: never lose a tie.
+		radii[j] = math.Sqrt(math.Nextafter(r2, math.Inf(1))) * (1 + 1e-12)
 	}
 	sys := &nbrsys.System{Centers: centers, Radii: radii}
-	tree, err := septree.Build(sys, g.Split(), &septree.Options{Sep: opts.sep()})
+	tree, err := septree.Build(sys, g.Split(), &septree.Options{Sep: opts.sep(), Done: cc.done})
 	if err != nil {
+		if cc.cancelled() {
+			// The structure build was cut short by cancellation; the punt
+			// correction is moot because the lists are being discarded.
+			return
+		}
 		// Degenerate system (e.g. all centers identical): fall back to the
 		// direct scan, still exact.
 		for _, i := range finite {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -30,7 +31,16 @@ func SphereDNC(pv []vec.Vec, g *xrand.RNG, opts *Options) (*Result, error) {
 // SphereDNCFlat is SphereDNC over flat contiguous point storage — the hot
 // entry point. Points must be finite and are not modified.
 func SphereDNCFlat(ps *pts.PointSet, g *xrand.RNG, opts *Options) (*Result, error) {
-	return run(ps, g, opts, sphereSplit)
+	return SphereDNCFlatContext(context.Background(), ps, g, opts)
+}
+
+// SphereDNCFlatContext is SphereDNCFlat under a context: cancellation (or
+// deadline expiry) is observed at every recursion node and at the
+// correction-phase boundaries, the partial build is abandoned, and
+// cx.Err() is returned. The probe is a single channel poll per node, so
+// context.Background costs one nil comparison on the hot path.
+func SphereDNCFlatContext(cx context.Context, ps *pts.PointSet, g *xrand.RNG, opts *Options) (*Result, error) {
+	return run(cx, ps, g, opts, sphereSplit)
 }
 
 // HyperplaneDNC computes the same lists with the Section-5 baseline:
@@ -45,7 +55,32 @@ func HyperplaneDNC(pv []vec.Vec, g *xrand.RNG, opts *Options) (*Result, error) {
 
 // HyperplaneDNCFlat is HyperplaneDNC over flat contiguous point storage.
 func HyperplaneDNCFlat(ps *pts.PointSet, g *xrand.RNG, opts *Options) (*Result, error) {
-	return run(ps, g, opts, hyperplaneSplit)
+	return HyperplaneDNCFlatContext(context.Background(), ps, g, opts)
+}
+
+// HyperplaneDNCFlatContext is HyperplaneDNCFlat under a context, with the
+// same cancellation semantics as SphereDNCFlatContext.
+func HyperplaneDNCFlatContext(cx context.Context, ps *pts.PointSet, g *xrand.RNG, opts *Options) (*Result, error) {
+	return run(cx, ps, g, opts, hyperplaneSplit)
+}
+
+// canceller is the cancellation probe threaded through every strand of one
+// run. It is a value (no lock, no allocation); a nil done channel — the
+// context.Background case — makes cancelled a single comparison.
+type canceller struct {
+	done <-chan struct{}
+}
+
+func (c canceller) cancelled() bool {
+	if c.done == nil {
+		return false
+	}
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
 }
 
 func validate(pv []vec.Vec) (*pts.PointSet, error) {
@@ -90,10 +125,13 @@ func hyperplaneSplit(sub *pts.PointSet, depth int, g *xrand.RNG, opts *Options) 
 	return res, true, nil
 }
 
-func run(ps *pts.PointSet, g *xrand.RNG, opts *Options, split splitFunc) (*Result, error) {
+func run(cx context.Context, ps *pts.PointSet, g *xrand.RNG, opts *Options, split splitFunc) (*Result, error) {
 	n := ps.N()
 	if n == 0 {
 		return nil, errors.New("core: no points")
+	}
+	if err := cx.Err(); err != nil {
+		return nil, err
 	}
 	k := opts.k()
 	// One arena allocation backs every point's k-NN list; the recursion's
@@ -106,36 +144,53 @@ func run(ps *pts.PointSet, g *xrand.RNG, opts *Options, split splitFunc) (*Resul
 	tl := &tally{}
 	ctx := opts.machine().NewCtx()
 	base := opts.baseSize(n)
+	cc := canceller{done: cx.Done()}
 	sh := opts.rec().Root()
 	sp := sh.Begin()
-	tree := rec(ps, idx, lists, 0, g, opts, split, base, ctx, tl, sh)
+	tree := rec(ps, idx, lists, 0, g, opts, split, base, ctx, tl, sh, cc)
 	sh.EndTrace(sp, obs.SpanBuild, int64(n))
 	tl.s.Cost = ctx.Cost()
 	sh.Count(obs.CSimSteps, tl.s.Cost.Steps)
 	sh.Count(obs.CSimWork, tl.s.Cost.Work)
 	sh.Release()
+	if cc.cancelled() {
+		// The recursion collapsed early; the partially filled lists are
+		// not a k-NN graph. Abandon them.
+		return nil, cx.Err()
+	}
 	return &Result{Lists: lists, Tree: tree, Stats: tl.s}, nil
 }
 
 // baseCase brute-forces the subset into the points' own lists: the paper's
 // "deterministically compute the neighborhood system in m time using m
 // processors by testing all pairs" (Section 6.1).
-func baseCase(ps *pts.PointSet, idx []int, lists []*topk.List, opts *Options, ctx *vm.Ctx, tl *tally, sh *obs.Shard) *march.PNode {
+func baseCase(ps *pts.PointSet, idx []int, lists []*topk.List, depth int, ctx *vm.Ctx, tl *tally, sh *obs.Shard) *march.PNode {
 	sp := sh.Begin()
 	brute.AllKNNSubsetInto(ps, idx, lists)
 	ctx.PrimK(len(idx), len(idx))
-	tl.add(func(s *Stats) { s.BaseCases++ })
+	tl.add(func(s *Stats) {
+		s.BaseCases++
+		if depth > s.MaxDepth {
+			s.MaxDepth = depth
+		}
+	})
 	sh.Count(obs.CBaseCases, 1)
 	sh.End(sp, obs.PhaseBase, obs.SpanBase, int64(len(idx)))
 	return &march.PNode{Pts: idx}
 }
 
 func rec(ps *pts.PointSet, idx []int, lists []*topk.List, depth int, g *xrand.RNG, opts *Options,
-	split splitFunc, base int, ctx *vm.Ctx, tl *tally, sh *obs.Shard) *march.PNode {
+	split splitFunc, base int, ctx *vm.Ctx, tl *tally, sh *obs.Shard, cc canceller) *march.PNode {
 
+	if cc.cancelled() {
+		// The build is being abandoned: stop descending (and inserting)
+		// immediately so the whole tree collapses in one flag check per
+		// pending node. The partial tree is discarded by run.
+		return nil
+	}
 	m := len(idx)
 	if m <= base {
-		return baseCase(ps, idx, lists, opts, ctx, tl, sh)
+		return baseCase(ps, idx, lists, depth, ctx, tl, sh)
 	}
 
 	spDiv := sh.Begin()
@@ -146,13 +201,16 @@ func rec(ps *pts.PointSet, idx []int, lists []*topk.List, depth int, g *xrand.RN
 	if err != nil {
 		// Unsplittable subset (all points identical): brute force it.
 		sh.End(spDiv, obs.PhaseDivide, obs.SpanDivide, int64(m))
-		return baseCase(ps, idx, lists, opts, ctx, tl, sh)
+		return baseCase(ps, idx, lists, depth, ctx, tl, sh)
 	}
 	tl.add(func(s *Stats) {
 		s.Nodes++
 		s.SeparatorTrials += res.Trials
 		if res.Punted {
 			s.SeparatorPunts++
+		}
+		if depth > s.MaxDepth {
+			s.MaxDepth = depth
 		}
 	})
 	sh.Count(obs.CNodes, 1)
@@ -178,7 +236,7 @@ func rec(ps *pts.PointSet, idx []int, lists []*topk.List, depth int, g *xrand.RN
 	if len(inIdx) == 0 || len(exIdx) == 0 {
 		// A vacuous split (possible for hyperplanes on pathological data):
 		// brute force rather than recurse without progress.
-		return baseCase(ps, idx, lists, opts, ctx, tl, sh)
+		return baseCase(ps, idx, lists, depth, ctx, tl, sh)
 	}
 
 	// Recurse on the two sides in parallel. The left branch may run on
@@ -196,8 +254,8 @@ func rec(ps *pts.PointSet, idx []int, lists []*topk.List, depth int, g *xrand.RN
 		// exists so the hot path does not pay the two per-node heap cells
 		// the timed variant's shared durL/durR variables escape into.
 		ctx.Fork(
-			func(c *vm.Ctx) { node.Left = rec(ps, inIdx, lists, depth+1, gl, opts, split, base, c, tl, nil) },
-			func(c *vm.Ctx) { node.Right = rec(ps, exIdx, lists, depth+1, gr, opts, split, base, c, tl, nil) },
+			func(c *vm.Ctx) { node.Left = rec(ps, inIdx, lists, depth+1, gl, opts, split, base, c, tl, nil, cc) },
+			func(c *vm.Ctx) { node.Right = rec(ps, exIdx, lists, depth+1, gr, opts, split, base, c, tl, nil, cc) },
 		)
 	} else {
 		shL := sh.Fork()
@@ -206,17 +264,22 @@ func rec(ps *pts.PointSet, idx []int, lists []*topk.List, depth int, g *xrand.RN
 		ctx.Fork(
 			func(c *vm.Ctx) {
 				t0 := shL.Now()
-				node.Left = rec(ps, inIdx, lists, depth+1, gl, opts, split, base, c, tl, shL)
+				node.Left = rec(ps, inIdx, lists, depth+1, gl, opts, split, base, c, tl, shL, cc)
 				durL = shL.Now() - t0
 				shL.Release()
 			},
 			func(c *vm.Ctx) {
 				t0 := sh.Now()
-				node.Right = rec(ps, exIdx, lists, depth+1, gr, opts, split, base, c, tl, sh)
+				node.Right = rec(ps, exIdx, lists, depth+1, gr, opts, split, base, c, tl, sh, cc)
 				durR = sh.Now() - t0
 			},
 		)
 		sh.EndAdjusted(spRec, obs.PhaseRecurse, obs.SpanRecurse, int64(m), durL+durR)
+	}
+	if cc.cancelled() {
+		// Skip the correction phase outright: the lists are being thrown
+		// away, and corrections are the expensive part of a node.
+		return node
 	}
 
 	// Correction phase (Section 6.1's Correction / Section 5's step 3).
@@ -228,36 +291,40 @@ func rec(ps *pts.PointSet, idx []int, lists []*topk.List, depth int, g *xrand.RN
 
 	gq := g.Split()
 	if alwaysQuery {
-		queryCorrect(ps, lists, crossIn, exIdx, gq, opts, ctx, tl, sh)
-		queryCorrect(ps, lists, crossEx, inIdx, gq, opts, ctx, tl, sh)
+		queryCorrect(ps, lists, crossIn, exIdx, gq, opts, ctx, tl, sh, cc)
+		queryCorrect(ps, lists, crossEx, inIdx, gq, opts, ctx, tl, sh, cc)
 		sh.End(spCor, obs.PhaseCorrect, obs.SpanCorrect, int64(crossed))
 		return node
 	}
 
 	// Punt threshold: attempt the fast path only when the crossing set is
-	// small (ι_{B_I}(S) + ι_{B_E}(S) < m^μ).
+	// small (ι_{B_I}(S) + ι_{B_E}(S) < m^μ). The chaos injector can force
+	// the punt at selected depths — the Punting Lemma's bad-luck event on
+	// demand, with identical correction semantics.
 	threshold := math.Pow(float64(m), opts.mu())
-	if float64(crossed) >= threshold {
+	if float64(crossed) >= threshold || opts.chaos().ForcePunt(depth) {
 		tl.add(func(s *Stats) { s.ThresholdPunts++ })
 		sh.Count(obs.CThresholdPunts, 1)
-		queryCorrect(ps, lists, crossIn, exIdx, gq, opts, ctx, tl, sh)
-		queryCorrect(ps, lists, crossEx, inIdx, gq, opts, ctx, tl, sh)
+		queryCorrect(ps, lists, crossIn, exIdx, gq, opts, ctx, tl, sh, cc)
+		queryCorrect(ps, lists, crossEx, inIdx, gq, opts, ctx, tl, sh, cc)
 		sh.End(spCor, obs.PhaseCorrect, obs.SpanCorrect, int64(crossed))
 		return node
 	}
 
 	// Fast Correction, each direction independently; an aborted march
-	// punts only its own direction.
+	// punts only its own direction. A chaos-forced abort skips the march
+	// entirely (as if it had flooded at level 0) and takes the same punt.
 	activeLimit := int(opts.activeFactor()*threshold*math.Log2(float64(m))) + 16
-	if !fastCorrect(ps, lists, crossIn, node.Right, activeLimit, opts, ctx, tl, sh) {
+	forceAbort := opts.chaos().ForceMarchAbort(depth)
+	if forceAbort || !fastCorrect(ps, lists, crossIn, node.Right, activeLimit, opts, ctx, tl, sh) {
 		tl.add(func(s *Stats) { s.MarchAborts++ })
 		sh.Count(obs.CMarchAborts, 1)
-		queryCorrect(ps, lists, crossIn, exIdx, gq, opts, ctx, tl, sh)
+		queryCorrect(ps, lists, crossIn, exIdx, gq, opts, ctx, tl, sh, cc)
 	}
-	if !fastCorrect(ps, lists, crossEx, node.Left, activeLimit, opts, ctx, tl, sh) {
+	if forceAbort || !fastCorrect(ps, lists, crossEx, node.Left, activeLimit, opts, ctx, tl, sh) {
 		tl.add(func(s *Stats) { s.MarchAborts++ })
 		sh.Count(obs.CMarchAborts, 1)
-		queryCorrect(ps, lists, crossEx, inIdx, gq, opts, ctx, tl, sh)
+		queryCorrect(ps, lists, crossEx, inIdx, gq, opts, ctx, tl, sh, cc)
 	}
 	sh.End(spCor, obs.PhaseCorrect, obs.SpanCorrect, int64(crossed))
 	return node

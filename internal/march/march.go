@@ -32,6 +32,7 @@ package march
 import (
 	"math"
 
+	"sepdc/internal/chaos"
 	"sepdc/internal/geom"
 	"sepdc/internal/obs"
 	"sepdc/internal/pts"
@@ -95,9 +96,12 @@ type Ball struct {
 }
 
 // NewBall builds a marching ball from an exact squared radius, inflating
-// the descent radius by one part in 2^40 to absorb sqrt rounding.
+// the descent radius by one part in 2^40 to absorb sqrt rounding. The
+// pre-sqrt Nextafter bump covers subnormal underflow: points within
+// ~1.5e-162 of each other have squared distance 0, so a radius² of 0 still
+// means "ties possible out to sqrt(minSubnormal)", not "ties impossible".
 func NewBall(id int, center vec.Vec, radius2 float64) Ball {
-	r := math.Sqrt(radius2)
+	r := math.Sqrt(math.Nextafter(radius2, math.Inf(1)))
 	return Ball{ID: id, Center: center, Radius: r * (1 + 1e-12), Radius2: radius2}
 }
 
@@ -145,6 +149,14 @@ func Down(root *PNode, pv []vec.Vec, balls []Ball, activeLimit int, ctx *vm.Ctx)
 // constant number of vector primitives whose width is the level's active
 // pair count; the leaf scans charge one primitive per scanned point.
 func DownFlat(root *PNode, ps *pts.PointSet, balls []Ball, activeLimit int, ctx *vm.Ctx) ([]Hit, Stats) {
+	return DownFlatChaos(root, ps, balls, activeLimit, ctx, nil)
+}
+
+// DownFlatChaos is DownFlat with a fault injector attached: a march that
+// reaches a level the injector selects aborts exactly as an active-ball
+// blow-up would (nil hits, Stats.Aborted set), driving the caller down the
+// punt path deterministically. A nil injector is DownFlat.
+func DownFlatChaos(root *PNode, ps *pts.PointSet, balls []Ball, activeLimit int, ctx *vm.Ctx, inj *chaos.Injector) ([]Hit, Stats) {
 	var st Stats
 	if root == nil || len(balls) == 0 {
 		return nil, st
@@ -177,7 +189,7 @@ func DownFlat(root *PNode, ps *pts.PointSet, balls []Ball, activeLimit int, ctx 
 			st.MaxActive = len(frontier)
 		}
 		st.TotalVisited += len(frontier)
-		if activeLimit > 0 && len(frontier) > activeLimit {
+		if (activeLimit > 0 && len(frontier) > activeLimit) || inj.AbortMarchAtLevel(st.Levels) {
 			st.Aborted = true
 			return nil, st
 		}

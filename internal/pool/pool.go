@@ -24,19 +24,28 @@ import (
 
 // Pool is a fixed set of persistent worker goroutines.
 type Pool struct {
-	tasks chan func()
-	stop  chan struct{}
-	once  sync.Once
-	size  int
+	tasks  chan func()
+	stop   chan struct{}
+	once   sync.Once
+	size   int
+	before func() // optional pre-task hook (chaos worker stall)
 }
 
 // New starts a pool of the given size. size <= 0 selects GOMAXPROCS.
 // Workers park on the task channel until Close (or process exit).
-func New(size int) *Pool {
+func New(size int) *Pool { return NewHooked(size, nil) }
+
+// NewHooked is New with a pre-task hook: workers run beforeTask (when
+// non-nil) before every accepted task. This is the chaos layer's worker
+// stall injection point — delaying accepted tasks shakes out ordering
+// assumptions in fork-join code without touching any deterministic output.
+// Inline fallbacks (TrySubmit returning false) are never hooked: the stall
+// models a lagging worker, not a slow caller.
+func NewHooked(size int, beforeTask func()) *Pool {
 	if size <= 0 {
 		size = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{tasks: make(chan func()), stop: make(chan struct{}), size: size}
+	p := &Pool{tasks: make(chan func()), stop: make(chan struct{}), size: size, before: beforeTask}
 	for i := 0; i < size; i++ {
 		go p.worker()
 	}
@@ -49,6 +58,9 @@ func (p *Pool) worker() {
 		case <-p.stop:
 			return
 		case f := <-p.tasks:
+			if p.before != nil {
+				p.before()
+			}
 			f()
 		}
 	}

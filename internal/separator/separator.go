@@ -38,6 +38,7 @@ import (
 	"sync"
 
 	"sepdc/internal/centerpoint"
+	"sepdc/internal/chaos"
 	"sepdc/internal/geom"
 	"sepdc/internal/obs"
 	"sepdc/internal/pts"
@@ -63,6 +64,18 @@ type Options struct {
 	// centroid. Cheaper and usually adequate on benign inputs; exposed for
 	// the ablation experiment.
 	Centroid bool
+	// Chaos is the deterministic fault injector; its TrialFails hook
+	// forces candidates to be judged failures so tests can drive FindGood
+	// through the retry cascade and the hyperplane punt at will. Nil (the
+	// default) injects nothing.
+	Chaos *chaos.Injector
+}
+
+func (o *Options) chaos() *chaos.Injector {
+	if o == nil {
+		return nil
+	}
+	return o.Chaos
 }
 
 func (o *Options) delta(d int) float64 {
@@ -332,6 +345,7 @@ func FindGoodFlat(ps *pts.PointSet, g *xrand.RNG, opts *Options) (Result, error)
 	}
 	delta := opts.delta(ps.Dim)
 	budget := opts.maxTrials(ps.N())
+	inj := opts.chaos()
 	var res Result
 	for trial := 1; trial <= budget; trial++ {
 		sep, err := CandidateFlat(ps, g, opts)
@@ -341,6 +355,9 @@ func FindGoodFlat(ps *pts.PointSet, g *xrand.RNG, opts *Options) (Result, error)
 		}
 		st := EvaluateFlat(sep, ps)
 		res.Trials = trial
+		if inj.TrialFails(trial) {
+			continue // chaos: the candidate is judged unlucky regardless of its ratio
+		}
 		if st.Ratio() <= delta {
 			res.Sep, res.Stats = sep, st
 			return res, nil

@@ -20,6 +20,7 @@
 package septree
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -64,6 +65,22 @@ type Options struct {
 	// from shrinking. After the budget the node becomes an oversized leaf
 	// (recorded in Stats.ForcedLeaves). Zero selects 3.
 	RetriesOnNoProgress int
+	// Done aborts the build when closed (typically a context's Done
+	// channel): the recursion stops descending and Build returns
+	// context.Canceled. Nil disables the probe.
+	Done <-chan struct{}
+}
+
+func (o *Options) cancelled() bool {
+	if o == nil || o.Done == nil {
+		return false
+	}
+	select {
+	case <-o.Done:
+		return true
+	default:
+		return false
+	}
 }
 
 // leafSize returns the paper's m0 for ambient dimension d. Lemma 3.1
@@ -120,7 +137,8 @@ type Tree struct {
 	Stats BuildStats
 }
 
-// Build constructs the search structure.
+// Build constructs the search structure. A build whose Options.Done
+// channel closes mid-recursion is abandoned and returns context.Canceled.
 func Build(sys *nbrsys.System, g *xrand.RNG, opts *Options) (*Tree, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
@@ -135,6 +153,11 @@ func Build(sys *nbrsys.System, g *xrand.RNG, opts *Options) (*Tree, error) {
 	}
 	ctx := opts.machine().NewCtx()
 	t.Root = build(sys, idx, g, opts, ctx)
+	if opts.cancelled() {
+		// Cancellation collapses subtrees to nil nodes; the partial tree
+		// is unusable, so report the abort rather than summarize it.
+		return nil, context.Canceled
+	}
 	t.Stats = summarize(t.Root)
 	t.Stats.Cost = ctx.Cost()
 	if obs.On() {
@@ -144,7 +167,28 @@ func Build(sys *nbrsys.System, g *xrand.RNG, opts *Options) (*Tree, error) {
 	return t, nil
 }
 
+// BuildContext is Build under a context: the context's Done channel is
+// installed as Options.Done and a cancelled build returns ctx.Err().
+func BuildContext(cx context.Context, sys *nbrsys.System, g *xrand.RNG, opts *Options) (*Tree, error) {
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
+	o.Done = cx.Done()
+	t, err := Build(sys, g, &o)
+	if err != nil {
+		if cerr := cx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, err
+	}
+	return t, nil
+}
+
 func build(sys *nbrsys.System, idx []int, g *xrand.RNG, opts *Options, ctx *vm.Ctx) *Node {
+	if opts.cancelled() {
+		return nil
+	}
 	m := len(idx)
 	if m <= opts.leafSize(len(sys.Centers[idx[0]])) {
 		ctx.Prim(m) // emit leaf: one vector write

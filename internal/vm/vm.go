@@ -77,13 +77,19 @@ type Machine struct {
 // sequential executor (same code path, no goroutines), so Stats accounting
 // is uniform across all worker counts. Abandoned machines release their
 // pool goroutines via a GC cleanup; long-lived callers may Close instead.
-func NewMachine(workers int) *Machine {
+func NewMachine(workers int) *Machine { return NewMachineHooked(workers, nil) }
+
+// NewMachineHooked is NewMachine with a pre-task hook installed on the
+// machine's worker pool — the chaos layer's worker-stall injection point.
+// The hook runs before every pool-accepted fork branch; cost accounting is
+// unaffected (it never depends on scheduling). A nil hook is NewMachine.
+func NewMachineHooked(workers int, beforeTask func()) *Machine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	m := &Machine{workers: workers}
 	if workers > 1 {
-		m.pool = pool.New(workers)
+		m.pool = pool.NewHooked(workers, beforeTask)
 		runtime.AddCleanup(m, func(p *pool.Pool) { p.Close() }, m.pool)
 	}
 	return m

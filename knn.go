@@ -1,6 +1,7 @@
 package sepdc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -8,14 +9,31 @@ import (
 	"time"
 
 	"sepdc/internal/brute"
+	"sepdc/internal/chaos"
 	"sepdc/internal/core"
 	"sepdc/internal/kdtree"
 	"sepdc/internal/knngraph"
 	"sepdc/internal/obs"
 	"sepdc/internal/pts"
+	"sepdc/internal/separator"
 	"sepdc/internal/topk"
 	"sepdc/internal/vm"
 	"sepdc/internal/xrand"
+)
+
+// Input validation errors. The library rejects malformed point sets up
+// front with errors wrapping these sentinels, so callers can classify the
+// rejection with errors.Is without parsing messages.
+var (
+	// ErrNoPoints is returned when the input holds no points.
+	ErrNoPoints = errors.New("sepdc: no points")
+	// ErrDimensionMismatch is returned when the rows disagree in dimension
+	// or the points are zero-dimensional.
+	ErrDimensionMismatch = errors.New("sepdc: dimension mismatch")
+	// ErrNonFiniteCoordinate is returned when a coordinate is NaN or ±Inf.
+	// Euclidean geometry (and every separator guarantee) is meaningless on
+	// non-finite coordinates, so they are rejected, never silently dropped.
+	ErrNonFiniteCoordinate = errors.New("sepdc: non-finite coordinate")
 )
 
 // Algorithm selects how BuildKNNGraph computes the neighbor lists. All
@@ -56,6 +74,23 @@ type Options struct {
 	// Trace additionally records one span per recursion-node phase for
 	// Chrome trace_event export via Graph.WriteTrace. Implies Observe.
 	Trace bool
+
+	// chaos installs the deterministic fault injector (internal/chaos).
+	// Unexported by design: the knob is reachable from this package's
+	// tests and — for `go test`/CI runs of any consumer — via the
+	// KNN_CHAOS environment spec, without widening the public API.
+	// Injections reroute the build onto its punt/fallback paths; the
+	// resulting graph is identical either way.
+	chaos *chaos.Injector
+}
+
+// injector returns the build's fault injector: the in-package knob when
+// set, else whatever the KNN_CHAOS environment spec says (usually nothing).
+func (o *Options) injector() (*chaos.Injector, error) {
+	if o != nil && o.chaos != nil {
+		return o.chaos, nil
+	}
+	return chaos.FromEnv()
 }
 
 func (o *Options) algorithm() Algorithm {
@@ -92,6 +127,10 @@ type Stats struct {
 	Punts int
 	// FastCorrections counts marches that completed.
 	FastCorrections int
+	// MaxDepth is the deepest recursion node reached (root = 0) — the
+	// quantity the Punting Lemma's O(log n) depth bound governs even when
+	// every separator search fails to the hyperplane fallback.
+	MaxDepth int
 	// Report is the full observability report (per-phase wall times,
 	// counters, histograms, runtime gauges); nil unless Options.Observe or
 	// Options.Trace was set. Counters and Histograms are deterministic for a
@@ -120,19 +159,36 @@ type Graph struct {
 // algorithm runs on the flat representation, so this function is a thin
 // converting wrapper over the internal flat entry points.
 func BuildKNNGraph(points [][]float64, k int, opts *Options) (*Graph, error) {
+	return BuildKNNGraphContext(context.Background(), points, k, opts)
+}
+
+// BuildKNNGraphContext is BuildKNNGraph under a context. The Sphere and
+// Hyperplane builds observe cancellation at every recursion node and at
+// correction-phase boundaries, abandon the partial graph, and return
+// ctx.Err() — a build punting its way down the slow correction path can be
+// cancelled or deadlined promptly. The non-recursive baselines (KDTree,
+// Brute) check the context only before starting.
+func BuildKNNGraphContext(ctx context.Context, points [][]float64, k int, opts *Options) (*Graph, error) {
 	ps, err := convert(points)
 	if err != nil {
 		return nil, err
 	}
-	return buildFromPointSet(ps, k, opts)
+	return buildFromPointSet(ctx, ps, k, opts)
 }
 
 // buildFromPointSet is the flat-storage core of BuildKNNGraph, shared with
 // FindGraphSeparator so a caller that already holds a PointSet does not pay
 // a second [][]float64 round trip.
-func buildFromPointSet(ps *pts.PointSet, k int, opts *Options) (*Graph, error) {
+func buildFromPointSet(ctx context.Context, ps *pts.PointSet, k int, opts *Options) (*Graph, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("sepdc: k must be >= 1, got %d", k)
+	}
+	inj, err := opts.injector()
+	if err != nil {
+		return nil, fmt.Errorf("sepdc: invalid chaos spec: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	var rec *obs.Recorder
 	if opts != nil && (opts.Observe || opts.Trace) {
@@ -147,24 +203,36 @@ func buildFromPointSet(ps *pts.PointSet, k int, opts *Options) (*Graph, error) {
 	case KDTree:
 		lists = kdtree.BuildFlat(ps, kdtree.DefaultLeafSize).AllKNN(k)
 	case Sphere, Hyperplane:
-		cOpts := &core.Options{K: k, Rec: rec}
+		cOpts := &core.Options{K: k, Rec: rec, Chaos: inj}
 		workers := 0
 		if opts != nil {
 			cOpts.BaseSize = opts.BaseSize
 			workers = opts.Workers
 		}
+		if inj != nil {
+			// Thread the injector into the per-node separator searches
+			// (and, transitively, the punt-path septree builds).
+			cOpts.Sep = &separator.Options{Chaos: inj}
+		}
 		// Workers == 1 gets the same Machine code path as every other
 		// setting (NewMachine(1) is the sequential executor), so the cost
 		// accounting in Stats is produced identically regardless of the
-		// parallelism setting.
-		cOpts.Machine = vm.NewMachine(workers)
+		// parallelism setting. A chaos worker stall rides on the machine's
+		// pool as a pre-task hook; the build's context cuts it short so a
+		// stalled build still cancels promptly.
+		if d := inj.StallDuration(); d > 0 {
+			done := ctx.Done()
+			cOpts.Machine = vm.NewMachineHooked(workers, func() { inj.Stall(done) })
+		} else {
+			cOpts.Machine = vm.NewMachine(workers)
+		}
 		g := xrand.New(opts.seed())
 		var res *core.Result
 		var err error
 		if algo == Sphere {
-			res, err = core.SphereDNCFlat(ps, g, cOpts)
+			res, err = core.SphereDNCFlatContext(ctx, ps, g, cOpts)
 		} else {
-			res, err = core.HyperplaneDNCFlat(ps, g, cOpts)
+			res, err = core.HyperplaneDNCFlatContext(ctx, ps, g, cOpts)
 		}
 		if err != nil {
 			if rec != nil {
@@ -179,6 +247,7 @@ func buildFromPointSet(ps *pts.PointSet, k int, opts *Options) (*Graph, error) {
 			SeparatorTrials: res.Stats.SeparatorTrials,
 			Punts:           res.Stats.ThresholdPunts + res.Stats.MarchAborts + res.Stats.QueryCorrections,
 			FastCorrections: res.Stats.FastCorrections,
+			MaxDepth:        res.Stats.MaxDepth,
 		}
 	default:
 		if rec != nil {
@@ -201,20 +270,20 @@ func buildFromPointSet(ps *pts.PointSet, k int, opts *Options) (*Graph, error) {
 
 func convert(points [][]float64) (*pts.PointSet, error) {
 	if len(points) == 0 {
-		return nil, errors.New("sepdc: no points")
+		return nil, ErrNoPoints
 	}
 	d := len(points[0])
 	if d == 0 {
-		return nil, errors.New("sepdc: zero-dimensional points")
+		return nil, fmt.Errorf("zero-dimensional points: %w", ErrDimensionMismatch)
 	}
 	ps := &pts.PointSet{Data: make([]float64, 0, len(points)*d), Dim: d}
 	for i, p := range points {
 		if len(p) != d {
-			return nil, fmt.Errorf("sepdc: point %d has dimension %d, want %d", i, len(p), d)
+			return nil, fmt.Errorf("point %d has dimension %d, want %d: %w", i, len(p), d, ErrDimensionMismatch)
 		}
-		for _, x := range p {
+		for c, x := range p {
 			if math.IsNaN(x) || math.IsInf(x, 0) {
-				return nil, fmt.Errorf("sepdc: point %d has a non-finite coordinate", i)
+				return nil, fmt.Errorf("point %d coordinate %d is %v: %w", i, c, x, ErrNonFiniteCoordinate)
 			}
 		}
 		ps.Data = append(ps.Data, p...)

@@ -1,6 +1,7 @@
 package sepdc
 
 import (
+	"context"
 	"fmt"
 
 	"sepdc/internal/nbrsys"
@@ -36,6 +37,13 @@ type QueryStructureStats struct {
 // NewQueryStructure builds the search structure over the k-neighborhood
 // system of the points.
 func NewQueryStructure(points [][]float64, k int, seed uint64) (*QueryStructure, error) {
+	return NewQueryStructureContext(context.Background(), points, k, seed)
+}
+
+// NewQueryStructureContext is NewQueryStructure under a context: the
+// separator-tree construction observes cancellation at every node,
+// abandons the partial structure, and returns ctx.Err().
+func NewQueryStructureContext(ctx context.Context, points [][]float64, k int, seed uint64) (*QueryStructure, error) {
 	ps, err := convert(points)
 	if err != nil {
 		return nil, err
@@ -43,8 +51,11 @@ func NewQueryStructure(points [][]float64, k int, seed uint64) (*QueryStructure,
 	if k < 1 {
 		return nil, fmt.Errorf("sepdc: k must be >= 1, got %d", k)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sys := nbrsys.KNeighborhood(ps.Vecs(), k)
-	tree, err := septree.Build(sys, xrand.New(seed), nil)
+	tree, err := septree.BuildContext(ctx, sys, xrand.New(seed), nil)
 	if err != nil {
 		return nil, err
 	}

@@ -24,6 +24,11 @@ type graphWire struct {
 
 const wireVersion = 1
 
+// maxWireK bounds the k accepted from the wire. Decoding preallocates k
+// capacity per vertex, so an adversarial header with a huge k must be
+// rejected as corrupt rather than honored with an allocation.
+const maxWireK = 1 << 24
+
 // Encode writes the graph in a compact binary form (gob-framed). The
 // encoding is deterministic for a given graph.
 func (g *Graph) Encode(w io.Writer) error {
@@ -53,7 +58,7 @@ func DecodeGraph(r io.Reader) (*Graph, error) {
 	if wire.Version != wireVersion {
 		return nil, fmt.Errorf("sepdc: unsupported graph encoding version %d", wire.Version)
 	}
-	if wire.K < 1 || wire.N < 0 || len(wire.Offsets) != wire.N+1 {
+	if wire.K < 1 || wire.K > maxWireK || wire.N < 0 || len(wire.Offsets) != wire.N+1 {
 		return nil, fmt.Errorf("sepdc: corrupt graph header")
 	}
 	total := len(wire.Idx)
@@ -63,7 +68,7 @@ func DecodeGraph(r io.Reader) (*Graph, error) {
 	lists := make([]*topk.List, wire.N)
 	for i := 0; i < wire.N; i++ {
 		lo, hi := wire.Offsets[i], wire.Offsets[i+1]
-		if lo > hi || hi > int32(total) {
+		if lo < 0 || lo > hi || hi > int32(total) {
 			return nil, fmt.Errorf("sepdc: corrupt offsets at vertex %d", i)
 		}
 		if int(hi-lo) > wire.K {
