@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 60s
 
-.PHONY: build vet test test-race bench bench-json verify fuzz chaos clean
+.PHONY: build vet test test-race race-batch bench bench-json bench-query verify fuzz chaos clean
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,23 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Regenerate the machine-readable BuildKNNGraph benchmark record.
+# Regenerate the machine-readable BuildKNNGraph benchmark record
+# (includes the query-serving section: pointer vs frozen vs batch).
 bench-json:
 	$(GO) run ./cmd/knnbench -out BENCH_knn.json
+
+# Query-serving benchmarks: the three covering-ball engines and the
+# batched adjacency accessor. CI runs these at -benchtime=1x and diffs
+# against testdata/bench-query-baseline.txt with benchstat when
+# available (informational smoke, not a gate).
+bench-query:
+	$(GO) test -run '^$$' -bench 'CoveringBalls|NeighborsBatch' -benchmem .
+
+# Focused race gate over the batched query-serving paths. Also covered
+# by test-race's full-module sweep; kept as its own target so a failure
+# names the subsystem.
+race-batch:
+	$(GO) test -race -run 'Batch|Batcher|CoveringBalls|QueryStructure' . ./internal/septree/
 
 # Fuzz smoke: each target gets FUZZTIME (default 60s) of coverage-guided
 # input generation on top of the committed seed corpora in testdata/fuzz.

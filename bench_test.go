@@ -301,6 +301,97 @@ func BenchmarkBuildKNNGraph(b *testing.B) {
 	}
 }
 
+// BenchmarkCoveringBalls (E13): the three covering-ball serving engines over
+// one Section-3 structure — the pointer tree, the frozen flat layout, and the
+// batched zero-alloc engine at 1 and 4 strands. ns/op is per query for the
+// sequential modes and per full batch pass for batch-N (which also reports a
+// ns/query metric). `make bench-query` runs this table; CI diffs it against
+// testdata/bench-query-baseline.txt with benchstat.
+func BenchmarkCoveringBalls(b *testing.B) {
+	const n, d, k, nq = 10000, 2, 4, 1024
+	pts := benchPoints(b, n, d, pointgen.UniformCube)
+	points := make([][]float64, len(pts))
+	for i, p := range pts {
+		points[i] = p
+	}
+	qs, err := NewQueryStructure(points, k, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := xrand.New(99)
+	queries := make([][]float64, nq)
+	for i := range queries {
+		if i%3 == 0 {
+			queries[i] = points[g.IntN(len(points))]
+		} else {
+			queries[i] = g.InCube(d)
+		}
+	}
+	b.Run("pointer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			qs.tree.Query(vec.Vec(queries[i%nq]))
+		}
+	})
+	b.Run("frozen", func(b *testing.B) {
+		var buf []int
+		for i := 0; i < b.N; i++ {
+			buf, _, _ = qs.frozen.Covering(queries[i%nq], buf[:0])
+		}
+		_ = buf
+	})
+	for _, strands := range []int{1, 4} {
+		b.Run(fmt.Sprintf("batch-%d", strands), func(b *testing.B) {
+			bt := qs.NewBatcher(strands)
+			if err := bt.Run(queries); err != nil { // warm arenas off the clock
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := bt.Run(queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/nq, "ns/query")
+		})
+	}
+}
+
+// BenchmarkNeighborsBatch: the batched adjacency accessor against the
+// one-vertex-at-a-time loop it replaces.
+func BenchmarkNeighborsBatch(b *testing.B) {
+	pts := benchPoints(b, 10000, 2, pointgen.UniformCube)
+	points := make([][]float64, len(pts))
+	for i, p := range pts {
+		points[i] = p
+	}
+	g, err := BuildKNNGraph(points, 4, &Options{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < g.NumPoints(); v++ {
+				if len(g.Neighbors(v)) == 0 {
+					b.Fatal("empty list")
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := g.NeighborsBatch(nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) != g.NumPoints() {
+				b.Fatal("short batch")
+			}
+		}
+	})
+}
+
 // BenchmarkPublicAPI: the documented entry point, as a user would call it.
 func BenchmarkPublicAPI(b *testing.B) {
 	pts := benchPoints(b, 1<<13, 2, pointgen.UniformCube)

@@ -12,21 +12,24 @@ import (
 // algorithm under. Each one forces a different unlucky path of the divide
 // and conquer; the acceptance criterion for all of them is identical —
 // the graph does not change.
+// chaosSpecs are the raw injection profiles, shared between the injector
+// form below and the env-driven (KNN_CHAOS) golden tests.
+var chaosSpecs = map[string]string{
+	"sep-fail-2":    "sep-fail=2",
+	"sep-fail-all":  "sep-fail=all",
+	"punt-all":      "punt=all",
+	"punt-top":      "punt=0,1",
+	"march-abort":   "march-abort=all",
+	"march-level-1": "march-level=1",
+	"stall":         "stall=200us",
+	"kitchen-sink":  "sep-fail=all;punt=all;march-abort=all;march-level=1;stall=100us",
+	"deep-combined": "sep-fail=1;punt=2,3;march-level=2",
+}
+
 func chaosProfiles(t *testing.T) map[string]*chaos.Injector {
 	t.Helper()
-	specs := map[string]string{
-		"sep-fail-2":    "sep-fail=2",
-		"sep-fail-all":  "sep-fail=all",
-		"punt-all":      "punt=all",
-		"punt-top":      "punt=0,1",
-		"march-abort":   "march-abort=all",
-		"march-level-1": "march-level=1",
-		"stall":         "stall=200us",
-		"kitchen-sink":  "sep-fail=all;punt=all;march-abort=all;march-level=1;stall=100us",
-		"deep-combined": "sep-fail=1;punt=2,3;march-level=2",
-	}
-	out := make(map[string]*chaos.Injector, len(specs))
-	for name, spec := range specs {
+	out := make(map[string]*chaos.Injector, len(chaosSpecs))
+	for name, spec := range chaosSpecs {
 		inj, err := chaos.Parse(spec)
 		if err != nil {
 			t.Fatalf("profile %s: Parse(%q): %v", name, spec, err)

@@ -49,6 +49,7 @@ func run() error {
 	workers := flag.Int("workers", 0, "goroutine parallelism (0 = GOMAXPROCS)")
 	observe := flag.Bool("obs", false, "collect and print the build's phase/counter report")
 	trace := flag.String("trace", "", "write Chrome trace_event JSON of the build to file (implies -obs)")
+	rnn := flag.Int("rnn", 0, "after the build, serve this many reverse-nearest-neighbor queries through the batched query structure and print serving stats")
 	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address")
 	debugHold := flag.Duration("debug-hold", 0, "keep the process (and -debug-addr server) alive this long after the build")
 	timeout := flag.Duration("timeout", 0, "abandon the build after this long (0 = no limit)")
@@ -127,6 +128,11 @@ func run() error {
 		fmt.Printf("trace written to %s\n", *trace)
 	}
 
+	if *rnn > 0 {
+		if err := serveRNN(points, *k, *seed, *rnn); err != nil {
+			return err
+		}
+	}
 	if *out != "" {
 		if err := writeGraph(*out, g); err != nil {
 			return err
@@ -137,6 +143,53 @@ func run() error {
 		fmt.Printf("holding for %v (debug endpoints stay up)...\n", *debugHold)
 		time.Sleep(*debugHold)
 	}
+	return nil
+}
+
+// serveRNN demos the Section-3 query structure: build it over the same
+// points, then answer n reverse-nearest-neighbor queries ("whose
+// k-neighborhood balls contain q?") through the zero-alloc batched engine.
+// Queries mix stored points with fresh uniform points from the unit cube.
+func serveRNN(points [][]float64, k int, seed uint64, n int) error {
+	start := time.Now()
+	qs, err := sepdc.NewQueryStructure(points, k, seed)
+	if err != nil {
+		return err
+	}
+	buildTime := time.Since(start)
+	d := len(points[0])
+	g := xrand.New(seed + 1)
+	queries := make([][]float64, n)
+	for i := range queries {
+		if i%3 == 0 {
+			queries[i] = points[g.IntN(len(points))]
+		} else {
+			queries[i] = g.InCube(d)
+		}
+	}
+	bt := qs.NewBatcher(0)
+	if err := bt.Run(queries); err != nil { // warm-up batch
+		return err
+	}
+	start = time.Now()
+	if err := bt.Run(queries); err != nil {
+		return err
+	}
+	serveTime := time.Since(start)
+	covered := 0
+	for i := 0; i < bt.Len(); i++ {
+		covered += len(bt.Result(i))
+	}
+	st := qs.Stats()
+	bst := bt.Stats()
+	fmt.Println("--- reverse-NN query serving ---")
+	fmt.Printf("structure:    %d leaves, height %d, %d stored balls (built in %v)\n",
+		st.Leaves, st.Height, st.StoredBalls, buildTime.Round(time.Microsecond))
+	fmt.Printf("queries:      %d in %v (%.0f qps, steady state)\n",
+		n, serveTime.Round(time.Microsecond), float64(n)/serveTime.Seconds())
+	fmt.Printf("covering:     %.2f balls/query mean\n", float64(covered)/float64(n))
+	fmt.Printf("traversal:    %.1f nodes visited, %.1f leaf candidates scanned per query\n",
+		float64(bst.NodesVisited)/float64(bst.Queries), float64(bst.LeafScanned)/float64(bst.Queries))
 	return nil
 }
 

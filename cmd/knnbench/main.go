@@ -32,6 +32,7 @@ import (
 // punt counters, and the march/crossing-ball histograms.
 type Result struct {
 	Algorithm    string           `json:"algorithm"`
+	Procs        int              `json:"procs"` // GOMAXPROCS and Options.Workers for the run
 	N            int              `json:"n"`
 	D            int              `json:"d"`
 	K            int              `json:"k"`
@@ -56,13 +57,14 @@ type Env struct {
 
 // Report is the whole BENCH_knn.json document.
 type Report struct {
-	Generated  string   `json:"generated"`
-	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Env        Env      `json:"env"`
-	Note       string   `json:"note"`
-	Baseline   []Result `json:"baseline"`
-	Results    []Result `json:"results"`
+	Generated  string        `json:"generated"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Env        Env           `json:"env"`
+	Note       string        `json:"note"`
+	Baseline   []Result      `json:"baseline"`
+	Results    []Result      `json:"results"`
+	Query      []QueryResult `json:"query,omitempty"`
 }
 
 // captureEnv gathers the environment header: toolchain, CPU shape, the CPU
@@ -105,9 +107,9 @@ func captureEnv() Env {
 // same session as the current-code numbers recorded in Results. They are
 // static by design: the seed tree no longer exists in the working copy.
 var baseline = []Result{
-	{Algorithm: "sphere", N: 10000, D: 2, K: 4, Iterations: 15,
+	{Algorithm: "sphere", Procs: 1, N: 10000, D: 2, K: 4, Iterations: 15,
 		NsPerOp: 119861240, AllocsPerOp: 1224674, BytesPerOp: 73158294, PointsPerSec: 83430},
-	{Algorithm: "kdtree", N: 10000, D: 2, K: 4, Iterations: 10,
+	{Algorithm: "kdtree", Procs: 1, N: 10000, D: 2, K: 4, Iterations: 10,
 		NsPerOp: 28914015, AllocsPerOp: 92500, BytesPerOp: 14748935, PointsPerSec: 345853},
 }
 
@@ -125,7 +127,7 @@ var grid = []cfg{
 	{sepdc.Brute, 2048, 2, 4},
 }
 
-func measure(c cfg, iters int) (Result, error) {
+func measure(c cfg, iters, procs int) (Result, error) {
 	// Same generator and seed recipe as bench_test.go, so `go test -bench
 	// BuildKNNGraph` and knnbench report the same workload.
 	pts := pointgen.Dedup(pointgen.MustGenerate(pointgen.UniformCube, c.n, c.d, xrand.New(uint64(c.n*31+c.d))))
@@ -133,7 +135,9 @@ func measure(c cfg, iters int) (Result, error) {
 	for i, p := range pts {
 		points[i] = p
 	}
-	opts := &sepdc.Options{Algorithm: c.algo, Seed: 42}
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	opts := &sepdc.Options{Algorithm: c.algo, Seed: 42, Workers: procs}
 	run := func() error {
 		_, err := sepdc.BuildKNNGraph(points, c.k, opts)
 		return err
@@ -155,6 +159,7 @@ func measure(c cfg, iters int) (Result, error) {
 	runtime.ReadMemStats(&after)
 	res := Result{
 		Algorithm:    string(c.algo),
+		Procs:        procs,
 		N:            len(points),
 		D:            c.d,
 		K:            c.k,
@@ -183,7 +188,16 @@ func measure(c cfg, iters int) (Result, error) {
 func main() {
 	out := flag.String("out", "BENCH_knn.json", "output file (- for stdout)")
 	iters := flag.Int("iters", 15, "measured iterations per grid cell")
+	queries := flag.Int("queries", 4096, "queries per serving-benchmark pass (0 disables the query section)")
+	queryIters := flag.Int("query-iters", 20, "measured passes per query-serving cell")
+	procsFlag := flag.String("procs", "", "comma-separated GOMAXPROCS sweep for the build grid and batch strands (default \"1,4,NumCPU\" deduplicated)")
 	flag.Parse()
+
+	procs, err := parseProcs(*procsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "knnbench:", err)
+		os.Exit(1)
+	}
 
 	rep := Report{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -191,19 +205,35 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Env:        captureEnv(),
 		Note: "baseline = seed commit 267ddc0 (pre flat-storage), measured back-to-back " +
-			"with results on the same machine; grid matches BenchmarkBuildKNNGraph; " +
-			"observed = one extra instrumented (Observe: true) run per DNC cell, not timed",
+			"with results on the same machine; grid matches BenchmarkBuildKNNGraph, each " +
+			"cell swept over -procs (GOMAXPROCS + Options.Workers pinned together); " +
+			"observed = one extra instrumented (Observe: true) run per DNC cell, not timed; " +
+			"query = covering-ball serving over one structure per cell — pointer vs frozen " +
+			"sequential, batch engine swept over procs 1/4/NumCPU with GOMAXPROCS pinned; " +
+			"query ns/query and qps are the fastest of query-iters identically-sized timed " +
+			"passes taken round-robin across modes (interleaved minimum: noise-robust on " +
+			"shared hosts and immune to multi-second skew, same work per pass in every mode)",
 	}
 	rep.Baseline = baseline
 	for _, c := range grid {
-		r, err := measure(c, *iters)
+		for _, p := range procs {
+			r, err := measure(c, *iters, p)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "knnbench: %s n=%d d=%d k=%d procs=%d: %v\n", c.algo, c.n, c.d, c.k, p, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "%-10s procs=%-2d n=%-6d d=%d k=%d  %12d ns/op  %9d allocs/op  %9.0f points/sec\n",
+				r.Algorithm, r.Procs, r.N, r.D, r.K, r.NsPerOp, r.AllocsPerOp, r.PointsPerSec)
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	if *queries > 0 {
+		qr, err := runQueryBench(*queries, *queryIters, procs)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "knnbench: %s n=%d d=%d k=%d: %v\n", c.algo, c.n, c.d, c.k, err)
+			fmt.Fprintln(os.Stderr, "knnbench: query bench:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "%-10s n=%-6d d=%d k=%d  %12d ns/op  %9d allocs/op  %9.0f points/sec\n",
-			r.Algorithm, r.N, r.D, r.K, r.NsPerOp, r.AllocsPerOp, r.PointsPerSec)
-		rep.Results = append(rep.Results, r)
+		rep.Query = qr
 	}
 	enc, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

@@ -6,6 +6,9 @@ import (
 	"errors"
 	"math"
 	"testing"
+
+	"sepdc/internal/nbrsys"
+	"sepdc/internal/vec"
 )
 
 // pointsFromBytes decodes the fuzzer's raw bytes into a point set: d from
@@ -113,6 +116,118 @@ func FuzzBuildKNNGraph(f *testing.F) {
 							t.Fatalf("%s: point %d list not in (distance, index) order", algo, i)
 						}
 					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzCoveringBalls feeds arbitrary byte-derived point sets and an
+// arbitrary query through the Section-3 search structure and checks the
+// answer against the definition: the ascending indices i with
+// |q − pᵢ|² < rᵢ², where rᵢ is point i's k-neighborhood radius computed
+// independently here. Malformed inputs (no points, non-finite
+// coordinates, wrong-dimension queries) must fail with the typed
+// sentinels, never crash; batched serving must agree with sequential on
+// every input the fuzzer invents.
+func FuzzCoveringBalls(f *testing.F) {
+	coords := func(vals ...float64) []byte {
+		var buf bytes.Buffer
+		for _, v := range vals {
+			binary.Write(&buf, binary.LittleEndian, v)
+		}
+		return buf.Bytes()
+	}
+	f.Add([]byte{}, uint8(0), uint8(0), 0.0, 0.0, 0.0, 0.0)
+	f.Add(coords(0, 0, 1, 0, 0, 1, 1, 1), uint8(1), uint8(1), 0.5, 0.5, 0.0, 0.0)  // unit square, center query
+	f.Add(coords(1, 1, 1, 1, 1, 1), uint8(2), uint8(4), 1.0, 1.0, 1.0, 0.0)        // coincident points, on-center query
+	f.Add(coords(0, 1, 2, 3, 4, 5, 6, 7), uint8(0), uint8(2), 3.5, 0.0, 0.0, 0.0)  // line, d=1
+	f.Add(coords(0, 0, 1, 0, 0, 1), uint8(1), uint8(0), math.NaN(), 0.0, 0.0, 0.0) // non-finite query
+	f.Add(coords(1e300, -1e300, 1e-300, 0), uint8(1), uint8(3), 1e300, 0.0, 0.0, 0.0)
+	f.Add(coords(0, 0, math.Inf(1), 1), uint8(1), uint8(0), 0.0, 0.0, 0.0, 0.0) // non-finite points
+
+	f.Fuzz(func(t *testing.T, data []byte, dRaw, kRaw uint8, q0, q1, q2, q3 float64) {
+		points, k := pointsFromBytes(data, dRaw, kRaw)
+		if len(points) == 0 {
+			if _, err := NewQueryStructure(points, k, 1); !errors.Is(err, ErrNoPoints) {
+				t.Fatalf("empty input: err = %v, want ErrNoPoints", err)
+			}
+			return
+		}
+		if !finitePoints(points) {
+			if _, err := NewQueryStructure(points, k, 1); !errors.Is(err, ErrNonFiniteCoordinate) {
+				t.Fatalf("non-finite input: err = %v, want ErrNonFiniteCoordinate", err)
+			}
+			return
+		}
+		// Ground truth scaffolding: recompute the k-neighborhood system
+		// independently of the structure under test.
+		centers := make([]vec.Vec, len(points))
+		for i, p := range points {
+			centers[i] = p
+		}
+		sys := nbrsys.KNeighborhood(centers, k)
+		radiiFinite := true
+		for _, r := range sys.Radii {
+			if math.IsInf(r, 0) || math.IsNaN(r) {
+				radiiFinite = false
+			}
+		}
+		qs, err := NewQueryStructure(points, k, 1)
+		if err != nil {
+			if !radiiFinite {
+				// Finite points can still be far enough apart that |p−q|²
+				// overflows to +Inf; the neighborhood system is rejected,
+				// with an error, not a crash — acceptable.
+				return
+			}
+			t.Fatalf("build on valid input: %v", err)
+		}
+		d := len(points[0])
+		q := []float64{q0, q1, q2, q3}[:d]
+
+		// Wrong-dimension probe: always rejectable (d ≤ 4 < 5).
+		if _, err := qs.CoveringBalls(make([]float64, d+1)); !errors.Is(err, ErrDimensionMismatch) {
+			t.Fatalf("dimension d+1: err = %v, want ErrDimensionMismatch", err)
+		}
+		if !finitePoints([][]float64{q}) {
+			if _, err := qs.CoveringBalls(q); !errors.Is(err, ErrNonFiniteCoordinate) {
+				t.Fatalf("non-finite query: err = %v, want ErrNonFiniteCoordinate", err)
+			}
+			return
+		}
+
+		// Ground truth by definition: scan every ball of the independent
+		// system with the same open predicate.
+		var want []int
+		for i, c := range sys.Centers {
+			if vec.Dist2Flat(q, c) < sys.Radii[i]*sys.Radii[i] {
+				want = append(want, i)
+			}
+		}
+		got, err := qs.CoveringBalls(q)
+		if err != nil {
+			t.Fatalf("query: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("CoveringBalls: %v, brute scan %v (n=%d d=%d k=%d)", got, want, len(points), d, k)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("CoveringBalls: %v, brute scan %v", got, want)
+			}
+		}
+		rows, err := qs.CoveringBallsBatch([][]float64{q, q})
+		if err != nil {
+			t.Fatalf("batch: %v", err)
+		}
+		for _, row := range rows {
+			if len(row) != len(got) {
+				t.Fatalf("batch row %v, sequential %v", row, got)
+			}
+			for i := range row {
+				if row[i] != got[i] {
+					t.Fatalf("batch row %v, sequential %v", row, got)
 				}
 			}
 		}

@@ -17,11 +17,12 @@ import (
 // than k other points, all of them are returned.
 func KNN(pts []vec.Vec, q, k int) *topk.List {
 	l := topk.New(k)
+	dist2 := vec.Dist2Kernel(len(pts[q]))
 	for i, p := range pts {
 		if i == q {
 			continue
 		}
-		l.Insert(i, vec.Dist2(pts[q], p))
+		l.Insert(i, dist2(pts[q], p))
 	}
 	return l
 }
@@ -41,9 +42,14 @@ func AllKNN(pv []vec.Vec, k int) []*topk.List {
 func AllKNNFlat(ps *pts.PointSet, k int) []*topk.List {
 	n := ps.N()
 	lists := topk.NewArena(n, k).Lists()
+	// The all-pairs loop is the library's purest distance workload; the
+	// d-specialized kernel is resolved once for the n²/2 pairs
+	// (bit-identical to ps.Dist2).
+	dist2 := vec.Dist2Kernel(ps.Dim)
 	for i := 0; i < n; i++ {
+		pi := ps.At(i)
 		for j := i + 1; j < n; j++ {
-			d2 := ps.Dist2(i, j)
+			d2 := dist2(pi, ps.At(j))
 			lists[i].Insert(j, d2)
 			lists[j].Insert(i, d2)
 		}
@@ -60,11 +66,14 @@ func AllKNNSubset(pv []vec.Vec, idx []int, k int) []*topk.List {
 	for i := range idx {
 		lists[i] = topk.New(k)
 	}
-	for a := 0; a < len(idx); a++ {
-		for b := a + 1; b < len(idx); b++ {
-			d2 := vec.Dist2(pv[idx[a]], pv[idx[b]])
-			lists[a].Insert(idx[b], d2)
-			lists[b].Insert(idx[a], d2)
+	if len(idx) > 0 {
+		dist2 := vec.Dist2Kernel(len(pv[idx[0]]))
+		for a := 0; a < len(idx); a++ {
+			for b := a + 1; b < len(idx); b++ {
+				d2 := dist2(pv[idx[a]], pv[idx[b]])
+				lists[a].Insert(idx[b], d2)
+				lists[b].Insert(idx[a], d2)
+			}
 		}
 	}
 	return lists
@@ -76,9 +85,11 @@ func AllKNNSubset(pv []vec.Vec, idx []int, k int) []*topk.List {
 // instead of allocating fresh ones. Pair order matches AllKNNSubset, so
 // the resulting list contents are identical.
 func AllKNNSubsetInto(ps *pts.PointSet, idx []int, lists []*topk.List) {
+	dist2 := vec.Dist2Kernel(ps.Dim)
 	for a := 0; a < len(idx); a++ {
+		pa := ps.At(idx[a])
 		for b := a + 1; b < len(idx); b++ {
-			d2 := ps.Dist2(idx[a], idx[b])
+			d2 := dist2(pa, ps.At(idx[b]))
 			lists[idx[a]].Insert(idx[b], d2)
 			lists[idx[b]].Insert(idx[a], d2)
 		}
@@ -90,11 +101,12 @@ func AllKNNSubsetInto(ps *pts.PointSet, idx []int, lists []*topk.List) {
 func PointsInBall(pts []vec.Vec, center vec.Vec, r float64, self int) []int {
 	r2 := r * r
 	var out []int
+	dist2 := vec.Dist2Kernel(len(center))
 	for i, p := range pts {
 		if i == self {
 			continue
 		}
-		if vec.Dist2(center, p) <= r2 {
+		if dist2(center, p) <= r2 {
 			out = append(out, i)
 		}
 	}
@@ -106,8 +118,9 @@ func PointsInBall(pts []vec.Vec, center vec.Vec, r float64, self int) []int {
 // by definition.
 func CountCoveringBalls(centers []vec.Vec, radii []float64, p vec.Vec) int {
 	count := 0
+	dist2 := vec.Dist2Kernel(len(p))
 	for i, c := range centers {
-		if vec.Dist2(c, p) < radii[i]*radii[i] {
+		if dist2(c, p) < radii[i]*radii[i] {
 			count++
 		}
 	}

@@ -89,8 +89,11 @@ func fastCorrect(ps *pts.PointSet, lists []*topk.List, cross []int, otherTree *m
 	if st.Aborted {
 		return false
 	}
+	// Candidate insertion is a pure distance loop; resolve the d-specialized
+	// kernel once (bit-identical to ps.Dist2).
+	dist2 := vec.Dist2Kernel(ps.Dim)
 	for _, h := range hits {
-		lists[h.BallID].Insert(h.Point, ps.Dist2(h.BallID, h.Point))
+		lists[h.BallID].Insert(h.Point, dist2(ps.At(h.BallID), ps.At(h.Point)))
 	}
 	// k-selection of the discovered candidates: one primitive over the hits
 	// (the paper's SCAN-based closest-point selection; O(log log k) steps
@@ -132,10 +135,12 @@ func queryCorrect(ps *pts.PointSet, lists []*topk.List, cross []int, otherPts []
 		}
 	}
 	// Unbounded balls: direct scan. Each such point needs every other-side
-	// point as a candidate.
+	// point as a candidate. All of queryCorrect's candidate loops share one
+	// d-specialized kernel (bit-identical to ps.Dist2).
+	dist2 := vec.Dist2Kernel(ps.Dim)
 	for _, i := range unbounded {
 		for _, j := range otherPts {
-			lists[i].Insert(j, ps.Dist2(i, j))
+			lists[i].Insert(j, dist2(ps.At(i), ps.At(j)))
 		}
 	}
 	if len(unbounded) > 0 {
@@ -170,7 +175,7 @@ func queryCorrect(ps *pts.PointSet, lists []*topk.List, cross []int, otherPts []
 		// direct scan, still exact.
 		for _, i := range finite {
 			for _, j := range otherPts {
-				lists[i].Insert(j, ps.Dist2(i, j))
+				lists[i].Insert(j, dist2(ps.At(i), ps.At(j)))
 			}
 		}
 		ctx.PrimK(len(finite), len(otherPts))
@@ -201,7 +206,7 @@ func queryCorrect(ps *pts.PointSet, lists []*topk.List, cross []int, otherPts []
 		j := otherPts[qi]
 		for _, b := range ballIdx {
 			i := finite[b]
-			lists[i].Insert(j, ps.Dist2(i, j))
+			lists[i].Insert(j, dist2(ps.At(i), ps.At(j)))
 			hits++
 		}
 	}

@@ -22,7 +22,8 @@ type Tree struct {
 	ps    *pts.PointSet
 	root  *node
 	size  int
-	leafC int // leaf capacity used at build time
+	leafC int           // leaf capacity used at build time
+	dist2 vec.Dist2Func // d-specialized distance kernel, resolved at build
 }
 
 type node struct {
@@ -60,7 +61,7 @@ func BuildFlat(ps *pts.PointSet, leafSize int) *Tree {
 		leafSize = 1
 	}
 	n := ps.N()
-	t := &Tree{ps: ps, size: n, leafC: leafSize}
+	t := &Tree{ps: ps, size: n, leafC: leafSize, dist2: vec.Dist2Kernel(ps.Dim)}
 	if n == 0 {
 		return t
 	}
@@ -128,7 +129,7 @@ func (t *Tree) knn(n *node, q vec.Vec, self int, l *topk.List) {
 			if j == self {
 				continue
 			}
-			l.Insert(j, vec.Dist2Flat(q, t.ps.At(j)))
+			l.Insert(j, t.dist2(q, t.ps.At(j)))
 		}
 		return
 	}
@@ -172,7 +173,7 @@ func (t *Tree) InBall(center vec.Vec, r float64, self int) []int {
 				if j == self {
 					continue
 				}
-				if t.ps.Dist2To(j, center) <= r2 {
+				if t.dist2(t.ps.At(j), center) <= r2 {
 					out = append(out, j)
 				}
 			}

@@ -169,6 +169,10 @@ func DownFlatChaos(root *PNode, ps *pts.PointSet, balls []Ball, activeLimit int,
 	for i := range balls {
 		frontier = append(frontier, item{node: root, ball: i})
 	}
+	// The leaf scan is the march's densest distance loop; resolve the
+	// d-specialized kernel once for the whole march (bit-identical to
+	// ps.Dist2To).
+	dist2 := vec.Dist2Kernel(ps.Dim)
 	var hits []Hit
 	leafWork := 0
 	defer func() {
@@ -201,7 +205,7 @@ func DownFlatChaos(root *PNode, ps *pts.PointSet, balls []Ball, activeLimit int,
 				leafWork += len(n.Pts)
 				r2 := b.Radius2
 				for _, p := range n.Pts {
-					if ps.Dist2To(p, b.Center) <= r2 {
+					if dist2(ps.At(p), b.Center) <= r2 {
 						hits = append(hits, Hit{BallID: b.ID, Point: p})
 					}
 				}

@@ -17,21 +17,25 @@ import (
 type Global uint8
 
 const (
-	GPoolSubmitted    Global = iota // tasks accepted by an idle pool worker
-	GPoolInline                     // tasks run inline because the pool was saturated
-	GScanParallel                   // scan primitives executed on the chunked parallel path
-	GScanSequential                 // scan primitives that fell back to sequential
-	GArenaAllocs                    // topk arenas allocated
-	GArenaLists                     // topk lists served from arenas
-	GArenaResets                    // arena reuse events (Reset calls)
-	GForks                          // vm fork-join sites executed
-	GVMPrims                        // vector primitives charged to the simulated machine
-	GSepCandidates                  // Unit Time Separator candidates generated
-	GSepFallbacks                   // separator searches that exhausted the trial budget
-	GSeptreeBuilds                  // Section-3 query structures built
-	GSeptreeForced                  // oversized (forced) septree leaves
-	GMarchPairs                     // (ball, node) pairs visited by marches
-	GMarchLeafPoints                // points scanned in reached march leaves
+	GPoolSubmitted   Global = iota // tasks accepted by an idle pool worker
+	GPoolInline                    // tasks run inline because the pool was saturated
+	GScanParallel                  // scan primitives executed on the chunked parallel path
+	GScanSequential                // scan primitives that fell back to sequential
+	GArenaAllocs                   // topk arenas allocated
+	GArenaLists                    // topk lists served from arenas
+	GArenaResets                   // arena reuse events (Reset calls)
+	GForks                         // vm fork-join sites executed
+	GVMPrims                       // vector primitives charged to the simulated machine
+	GSepCandidates                 // Unit Time Separator candidates generated
+	GSepFallbacks                  // separator searches that exhausted the trial budget
+	GSeptreeBuilds                 // Section-3 query structures built
+	GSeptreeForced                 // oversized (forced) septree leaves
+	GMarchPairs                    // (ball, node) pairs visited by marches
+	GMarchLeafPoints               // points scanned in reached march leaves
+	GQueryBatches                  // batched covering-ball Run invocations
+	GQueryServed                   // covering-ball queries answered (batched + single)
+	GQueryNodes                    // septree nodes visited answering queries
+	GQueryLeafScans                // leaf ball candidates scanned answering queries
 	numGlobals
 )
 
@@ -51,6 +55,10 @@ var globalNames = [numGlobals]string{
 	GSeptreeForced:   "septree_forced_leaves",
 	GMarchPairs:      "march_pairs",
 	GMarchLeafPoints: "march_leaf_points",
+	GQueryBatches:    "query_batches",
+	GQueryServed:     "query_served",
+	GQueryNodes:      "query_nodes_visited",
+	GQueryLeafScans:  "query_leaf_scans",
 }
 
 var (

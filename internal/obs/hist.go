@@ -1,6 +1,9 @@
 package obs
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // histBuckets is the number of log2 buckets: bucket i counts values whose
 // bit length is i, i.e. v in [2^{i-1}, 2^i). Bucket 0 holds v == 0. The
@@ -84,6 +87,25 @@ func (h Hist) Mean() float64 {
 	}
 	return float64(h.Sum) / float64(h.Count)
 }
+
+// LogHist is the exported, caller-synchronized form of the log2
+// histogram, for long-lived components outside a build Recorder (the
+// batched query engine's per-batch latency record). The zero value is
+// ready to use. Not safe for concurrent Observe; owners serialize.
+type LogHist struct {
+	h histogram
+}
+
+// Observe records one value.
+func (l *LogHist) Observe(v int64) {
+	if l.h.count == 0 {
+		l.h.min = math.MaxInt64
+	}
+	l.h.observe(v)
+}
+
+// Snapshot returns the histogram in export form.
+func (l *LogHist) Snapshot() Hist { return l.h.snapshot() }
 
 func (h *histogram) snapshot() Hist {
 	out := Hist{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}

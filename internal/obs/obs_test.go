@@ -1,9 +1,9 @@
 package obs
 
 import (
-	"math"
 	"bytes"
 	"encoding/json"
+	"math"
 	"sync"
 	"testing"
 	"time"

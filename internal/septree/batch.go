@@ -1,0 +1,214 @@
+package septree
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sepdc/internal/obs"
+	"sepdc/internal/pool"
+)
+
+// Batch is a reusable batched-query engine over a Frozen tree. One Batch
+// owns a fixed set of strands (worker-shard pairs); each Run fans the
+// query slice across them through the shared worker pool, with queries
+// handed out in chunks off one atomic counter so stragglers self-balance.
+//
+// Every strand appends result ids into its own arena and records a
+// (shard, start, end) span per query, so the steady state — capacities
+// warmed up by earlier runs — performs zero heap allocations per Run:
+// the task closures are pre-allocated at construction, dispatch is one
+// channel send per strand, and result storage is recycled.
+//
+// A Batch is NOT safe for concurrent use; callers serialize Runs (or use
+// one Batch per goroutine over the same Frozen, which is safe — the
+// Frozen is immutable).
+type Batch struct {
+	f      *Frozen
+	pool   *pool.Pool
+	shards []batchShard
+	submit []func() // pre-allocated strand closures (strands 1..W-1)
+	wg     sync.WaitGroup
+
+	// Per-run state. queries is only held during Run.
+	queries [][]float64
+	spans   []span
+	next    atomic.Int64
+	nq      int64
+	closed  bool
+
+	// Cumulative engine statistics.
+	batches int64
+	latency obs.LogHist
+}
+
+type span struct {
+	shard      int32
+	start, end int32
+}
+
+// batchShard is one strand's result arena and counters. Padded so two
+// strands' append cursors never share a cache line.
+type batchShard struct {
+	ids     []int
+	queries int64
+	nodes   int64
+	scanned int64
+	_       [64]byte
+}
+
+// batchChunk is how many queries a strand claims per atomic fetch-add:
+// large enough that counter contention is negligible, small enough that
+// an unlucky strand stuck with deep queries sheds load to the others.
+const batchChunk = 16
+
+// NewBatch returns an engine with the given strand count over f.
+// workers <= 0 selects GOMAXPROCS. With one strand the engine runs
+// entirely on the caller; otherwise strands beyond the first are offered
+// to the shared worker pool and degrade to inline execution when it is
+// saturated.
+func NewBatch(f *Frozen, workers int) *Batch {
+	p := pool.Shared()
+	if workers <= 0 {
+		workers = p.Size()
+	}
+	b := &Batch{f: f, shards: make([]batchShard, workers)}
+	if workers > 1 {
+		b.pool = p
+		b.submit = make([]func(), workers-1)
+		for t := 1; t < workers; t++ {
+			t := t
+			b.submit[t-1] = func() {
+				b.strand(t)
+				b.wg.Done()
+			}
+		}
+	}
+	return b
+}
+
+// Workers returns the engine's strand count.
+func (b *Batch) Workers() int { return len(b.shards) }
+
+// Run answers an open-ball covering query for every element of queries
+// (the Tree.Query predicate). Results are read back with Result; they
+// remain valid until the next Run. Queries must match the tree's
+// dimension — the engine does not validate (the public API layer does).
+func (b *Batch) Run(queries [][]float64) { b.run(queries, false) }
+
+// RunClosed is Run with closed-ball membership (Tree.QueryClosed).
+func (b *Batch) RunClosed(queries [][]float64) { b.run(queries, true) }
+
+func (b *Batch) run(queries [][]float64, closed bool) {
+	start := time.Now()
+	b.queries, b.closed = queries, closed
+	b.nq = int64(len(queries))
+	if cap(b.spans) < len(queries) {
+		b.spans = make([]span, len(queries))
+	} else {
+		b.spans = b.spans[:len(queries)]
+	}
+	var nodes0, scanned0 int64
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.ids = sh.ids[:0]
+		nodes0 += sh.nodes
+		scanned0 += sh.scanned
+	}
+	b.next.Store(0)
+
+	// Deploy at most one strand per chunk of work; tiny batches stay on
+	// the caller. Strand 0 always runs inline on the calling goroutine.
+	deploy := len(b.shards)
+	if need := int((b.nq + batchChunk - 1) / batchChunk); deploy > need {
+		deploy = need
+	}
+	if deploy > 1 {
+		b.wg.Add(deploy - 1)
+		for t := 1; t < deploy; t++ {
+			if !b.pool.TrySubmit(b.submit[t-1]) {
+				b.submit[t-1]()
+			}
+		}
+	}
+	b.strand(0)
+	if deploy > 1 {
+		b.wg.Wait()
+	}
+	b.queries = nil
+	b.batches++
+	b.latency.Observe(time.Since(start).Nanoseconds())
+	if obs.On() {
+		var nodes1, scanned1 int64
+		for i := range b.shards {
+			nodes1 += b.shards[i].nodes
+			scanned1 += b.shards[i].scanned
+		}
+		obs.Add(obs.GQueryBatches, 1)
+		obs.Add(obs.GQueryServed, b.nq)
+		obs.Add(obs.GQueryNodes, nodes1-nodes0)
+		obs.Add(obs.GQueryLeafScans, scanned1-scanned0)
+	}
+}
+
+// strand is one worker's loop: claim a chunk of query indices, answer
+// each into this strand's arena, repeat until the batch is drained.
+func (b *Batch) strand(id int) {
+	sh := &b.shards[id]
+	f := b.f
+	closed := b.closed
+	for {
+		lo := b.next.Add(batchChunk) - batchChunk
+		if lo >= b.nq {
+			return
+		}
+		hi := lo + batchChunk
+		if hi > b.nq {
+			hi = b.nq
+		}
+		for qi := lo; qi < hi; qi++ {
+			before := len(sh.ids)
+			var nodes, scanned int
+			if closed {
+				sh.ids, nodes, scanned = f.CoveringClosed(b.queries[qi], sh.ids)
+			} else {
+				sh.ids, nodes, scanned = f.Covering(b.queries[qi], sh.ids)
+			}
+			b.spans[qi] = span{shard: int32(id), start: int32(before), end: int32(len(sh.ids))}
+			sh.queries++
+			sh.nodes += int64(nodes)
+			sh.scanned += int64(scanned)
+		}
+	}
+}
+
+// Len returns the number of queries answered by the last Run.
+func (b *Batch) Len() int { return len(b.spans) }
+
+// Result returns the ball ids covering query i of the last Run, in
+// ascending order. The slice aliases engine-owned storage: it is valid
+// until the next Run and must not be modified.
+func (b *Batch) Result(i int) []int {
+	sp := b.spans[i]
+	return b.shards[sp.shard].ids[sp.start:sp.end:sp.end]
+}
+
+// BatchStats is a Batch's cumulative served-traffic record.
+type BatchStats struct {
+	Batches      int64    // Run invocations
+	Queries      int64    // queries answered
+	NodesVisited int64    // Σ nodes visited across all queries
+	LeafScanned  int64    // Σ leaf candidates scanned
+	Latency      obs.Hist // per-batch wall-time histogram (ns)
+}
+
+// Stats snapshots the engine's cumulative counters. Call between Runs.
+func (b *Batch) Stats() BatchStats {
+	st := BatchStats{Batches: b.batches, Latency: b.latency.Snapshot()}
+	for i := range b.shards {
+		st.Queries += b.shards[i].queries
+		st.NodesVisited += b.shards[i].nodes
+		st.LeafScanned += b.shards[i].scanned
+	}
+	return st
+}

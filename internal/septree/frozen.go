@@ -1,0 +1,395 @@
+package septree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sepdc/internal/geom"
+	"sepdc/internal/vec"
+)
+
+// Frozen is the query-optimized representation of a built Tree: a
+// structure-of-arrays layout with no per-node pointers on the descent
+// path. The pointer Tree stays the canonical build/validation form;
+// Freeze converts it once and queries run against flat arrays:
+//
+//   - Nodes are stored breadth-first with sibling pairs adjacent, so an
+//     internal node records only its left child id (right = left + 1) and
+//     the branch taken is a +0/+1 index adjustment, not a pointer load.
+//   - Separator geometry lives in one flat []float64 with stride d+3
+//     (center‖radius‖r²-band for spheres, normal‖offset for the
+//     hyperplane punts), so the descent touches one contiguous record
+//     per node. The r² band [lo, hi] brackets radius² with enough margin
+//     that for any squared distance outside it, comparing against the
+//     band provably agrees with the pointer path's √dist² vs radius
+//     test; the sqrt is evaluated only inside the band, taking the
+//     correctly-rounded square root off the descent's dependency chain
+//     on essentially every node without changing a single branch
+//     decision.
+//   - Leaf ball ids are packed CSR-style into one []int32, pre-sorted
+//     ascending, which makes the post-scan sort.Ints of the pointer path
+//     unnecessary: filtering a sorted list yields sorted output.
+//   - Each leaf's candidate ball records (center ‖ r², stride d+1) are
+//     inlined next to each other in a parallel CSR array, so the leaf
+//     scan is one sequential stream with no per-candidate indirection —
+//     trading Σ|leaf| × (d+1) words of duplicated storage (the same
+//     asymptotic space as the id lists Lemma 3.1 already charges for)
+//     for hardware-prefetchable scans. Radii are stored pre-squared,
+//     eliminating the per-candidate multiply; r² is computed by the same
+//     single multiplication the pointer path performs, so results stay
+//     bit-identical.
+//
+// All traversal arithmetic goes through the d-specialized vec kernels,
+// which are bit-identical to the generic forms; Covering/CoveringClosed
+// therefore return exactly the ids, in exactly the order, of
+// Tree.Query/Tree.QueryClosed.
+type Frozen struct {
+	dim     int
+	stride  int // dim + 1: ball record width (center ‖ r²)
+	nstride int // dim + 3: node record width (geometry ‖ scalar ‖ r² band)
+
+	kind  []uint8   // per node: kindSphere | kindHalf | kindLeaf
+	child []int32   // internal: left child id; leaf: leaf slot
+	sep   []float64 // per node: nstride floats of separator geometry
+
+	leafOff   []int32   // CSR offsets into leafBalls, one per leaf slot +1
+	leafBalls []int32   // concatenated, ascending ball ids per leaf
+	leafRecs  []float64 // leafBalls' records inlined, stride floats per id
+
+	dist2 vec.Dist2Func
+	dot   vec.DotFunc
+}
+
+const (
+	kindSphere = iota
+	kindHalf
+	kindLeaf
+)
+
+// Freeze converts a built tree into its flat query representation. The
+// tree is not modified and remains usable. Freezing a tree whose
+// separators are neither spheres nor halfspaces (impossible for trees
+// built by this package) is an error.
+func Freeze(t *Tree) (*Frozen, error) {
+	if t == nil || t.Root == nil {
+		return nil, fmt.Errorf("septree: freeze of nil tree")
+	}
+	n := t.Sys.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("septree: freeze of empty system")
+	}
+	dim := len(t.Sys.Centers[0])
+	f := &Frozen{
+		dim:     dim,
+		stride:  dim + 1,
+		nstride: dim + 3,
+		dist2:   vec.Dist2Kernel(dim),
+		dot:     vec.DotKernel(dim),
+	}
+
+	// Breadth-first numbering: dequeue a node, and if internal, assign its
+	// two children the next two consecutive ids. Sibling adjacency falls
+	// out of the queue discipline.
+	f.leafOff = append(f.leafOff, 0)
+	queue := []*Node{t.Root}
+	for len(queue) > 0 {
+		nd := queue[0]
+		queue = queue[1:]
+		base := len(f.kind) * f.nstride
+		f.sep = append(f.sep, make([]float64, f.nstride)...)
+		rec := f.sep[base : base+f.nstride]
+		if nd.IsLeaf() {
+			f.kind = append(f.kind, kindLeaf)
+			f.child = append(f.child, int32(len(f.leafOff)-1))
+			balls := make([]int32, len(nd.Balls))
+			for i, b := range nd.Balls {
+				balls[i] = int32(b)
+			}
+			sort.Slice(balls, func(i, j int) bool { return balls[i] < balls[j] })
+			f.leafBalls = append(f.leafBalls, balls...)
+			f.leafOff = append(f.leafOff, int32(len(f.leafBalls)))
+			for _, b := range balls {
+				f.leafRecs = append(f.leafRecs, t.Sys.Centers[b]...)
+				r := t.Sys.Radii[b]
+				f.leafRecs = append(f.leafRecs, r*r)
+			}
+			continue
+		}
+		switch sep := nd.Sep.(type) {
+		case geom.Sphere:
+			f.kind = append(f.kind, kindSphere)
+			copy(rec, sep.Center)
+			rec[dim] = sep.Radius
+			rec[dim+1], rec[dim+2] = sqrtFreeBand(sep.Radius)
+		case geom.Halfspace:
+			f.kind = append(f.kind, kindHalf)
+			copy(rec, sep.Normal)
+			rec[dim] = sep.Offset
+		default:
+			return nil, fmt.Errorf("septree: cannot freeze separator type %T", nd.Sep)
+		}
+		// Children get the next two ids: len(kind) grows by exactly the
+		// queued prefix, so the left child's id is current queue tail.
+		f.child = append(f.child, int32(len(f.kind)-1+len(queue)+1))
+		queue = append(queue, nd.Left, nd.Right)
+	}
+	return f, nil
+}
+
+// sqrtFreeBand returns [lo, hi] bracketing r² such that for any squared
+// distance d2 with d2 > hi, √d2 > r is certain, and with d2 < lo,
+// √d2 ≤ r is certain — even though √ is evaluated in correctly-rounded
+// floating point. The correctly-rounded sqrt can disagree with the
+// squared comparison only within ~2 ulps of r²; the 1e-14 relative
+// margin (≈45 ulps) covers that with room to spare, so outside the band
+// the branch decision needs no square root at all. When the relative
+// margin cannot strictly separate lo < r² < hi (r² zero, subnormal, or
+// overflowed to +Inf), the band degenerates to (-Inf, +Inf) and every
+// query at that node takes the exact sqrt path.
+func sqrtFreeBand(r float64) (lo, hi float64) {
+	r2 := r * r
+	lo = r2 * (1 - 1e-14)
+	hi = r2 * (1 + 1e-14)
+	if !(lo < r2 && r2 < hi) {
+		return math.Inf(-1), math.Inf(1)
+	}
+	return lo, hi
+}
+
+// Dim returns the ambient dimension.
+func (f *Frozen) Dim() int { return f.dim }
+
+// NumNodes returns the total node count of the frozen tree.
+func (f *Frozen) NumNodes() int { return len(f.kind) }
+
+// NumLeaves returns the leaf count.
+func (f *Frozen) NumLeaves() int { return len(f.leafOff) - 1 }
+
+// StoredBalls returns Σ over leaves of stored ball ids (the Lemma 3.1
+// space quantity).
+func (f *Frozen) StoredBalls() int { return len(f.leafBalls) }
+
+// descend walks from the root to the leaf containing q and returns the
+// leaf's node id and the number of nodes visited on the way (leaf
+// included, matching Tree.Query's accounting).
+func (f *Frozen) descend(q []float64) (int32, int) {
+	dist2, dot := f.dist2, f.dot
+	nstride, dim := f.nstride, f.dim
+	i := int32(0)
+	visited := 0
+	for f.kind[i] != kindLeaf {
+		visited++
+		rec := f.sep[int(i)*nstride : int(i)*nstride+nstride]
+		// The paper's rule sends Side <= 0 (interior, incl. on-surface)
+		// left. Phrased as "right only when strictly positive" so that a
+		// NaN side (unreachable through the validated public API) takes
+		// the same branch as the pointer path's Side() == 0 case.
+		right := false
+		if f.kind[i] == kindSphere {
+			d2 := dist2(q, rec[:dim])
+			if d2 > rec[dim+2] {
+				right = true
+			} else if d2 >= rec[dim+1] {
+				right = math.Sqrt(d2)-rec[dim] > 0
+			}
+		} else {
+			right = dot(rec[:dim], q)-rec[dim] > 0
+		}
+		if right {
+			i = f.child[i] + 1
+		} else {
+			i = f.child[i]
+		}
+	}
+	return i, visited + 1
+}
+
+// Covering appends to out the ids of all balls whose open interior
+// contains q, in ascending order — the frozen equivalent of Tree.Query.
+// It returns the extended slice, the nodes visited, and the number of
+// leaf candidates scanned. out is reused via append semantics; pass
+// out[:0] to recycle a buffer. The call allocates only if out's capacity
+// is exceeded.
+func (f *Frozen) Covering(q []float64, out []int) (res []int, nodesVisited, leafScanned int) {
+	switch f.dim {
+	case 2:
+		return f.covering2(q, out, false)
+	case 3:
+		return f.covering3(q, out, false)
+	}
+	leaf, visited := f.descend(q)
+	slot := f.child[leaf]
+	lo, hi := f.leafOff[slot], f.leafOff[slot+1]
+	balls := f.leafBalls[lo:hi]
+	dist2, stride := f.dist2, f.stride
+	ri := int(lo) * stride
+	for _, j := range balls {
+		rec := f.leafRecs[ri : ri+stride : ri+stride]
+		ri += stride
+		if dist2(q, rec[:stride-1]) < rec[stride-1] {
+			out = append(out, int(j))
+		}
+	}
+	return out, visited, len(balls)
+}
+
+// CoveringClosed is Covering with closed-ball membership (boundary
+// included) — the frozen equivalent of Tree.QueryClosed.
+func (f *Frozen) CoveringClosed(q []float64, out []int) (res []int, nodesVisited, leafScanned int) {
+	switch f.dim {
+	case 2:
+		return f.covering2(q, out, true)
+	case 3:
+		return f.covering3(q, out, true)
+	}
+	leaf, visited := f.descend(q)
+	slot := f.child[leaf]
+	lo, hi := f.leafOff[slot], f.leafOff[slot+1]
+	balls := f.leafBalls[lo:hi]
+	dist2, stride := f.dist2, f.stride
+	ri := int(lo) * stride
+	for _, j := range balls {
+		rec := f.leafRecs[ri : ri+stride : ri+stride]
+		ri += stride
+		if dist2(q, rec[:stride-1]) <= rec[stride-1]+geom.Eps {
+			out = append(out, int(j))
+		}
+	}
+	return out, visited, len(balls)
+}
+
+// covering2 and covering3 are the d = 2 and d = 3 traversals with the vec
+// kernels inlined: the indirect call per node and per leaf candidate is
+// the dominant cost of the generic path at these dimensions. Every
+// floating-point expression mirrors the corresponding kernel operation for
+// operation (same operands, same order), so the results remain
+// bit-identical to the generic path and to the pointer tree.
+
+func (f *Frozen) covering2(q []float64, out []int, closed bool) (res []int, nodesVisited, leafScanned int) {
+	q0, q1 := q[0], q[1]
+	kind, child, sep := f.kind, f.child, f.sep
+	i := int32(0)
+	visited := 0
+	for k := kind[i]; k != kindLeaf; k = kind[i] {
+		visited++
+		base := int(i) * 5
+		rec := sep[base : base+5 : base+5]
+		right := false
+		if k == kindSphere {
+			d0 := q0 - rec[0]
+			d1 := q1 - rec[1]
+			d2 := d0*d0 + d1*d1
+			if d2 > rec[4] {
+				right = true
+			} else if d2 >= rec[3] {
+				right = math.Sqrt(d2)-rec[2] > 0
+			}
+		} else {
+			s := 0.0
+			s += rec[0] * q0
+			s += rec[1] * q1
+			right = s-rec[2] > 0
+		}
+		if right {
+			i = child[i] + 1
+		} else {
+			i = child[i]
+		}
+	}
+	visited++
+	slot := child[i]
+	lo, hi := f.leafOff[slot], f.leafOff[slot+1]
+	balls := f.leafBalls[lo:hi]
+	recs := f.leafRecs[int(lo)*3 : int(hi)*3]
+	// The m+2 < len(recs) guard lets the compiler prove all three record
+	// accesses in bounds, so the scan runs bounds-check-free.
+	if closed {
+		bi := 0
+		for m := 0; m+2 < len(recs); m += 3 {
+			d0 := q0 - recs[m]
+			d1 := q1 - recs[m+1]
+			if d0*d0+d1*d1 <= recs[m+2]+geom.Eps {
+				out = append(out, int(balls[bi]))
+			}
+			bi++
+		}
+	} else {
+		bi := 0
+		for m := 0; m+2 < len(recs); m += 3 {
+			d0 := q0 - recs[m]
+			d1 := q1 - recs[m+1]
+			if d0*d0+d1*d1 < recs[m+2] {
+				out = append(out, int(balls[bi]))
+			}
+			bi++
+		}
+	}
+	return out, visited, len(balls)
+}
+
+func (f *Frozen) covering3(q []float64, out []int, closed bool) (res []int, nodesVisited, leafScanned int) {
+	q0, q1, q2 := q[0], q[1], q[2]
+	kind, child, sep := f.kind, f.child, f.sep
+	i := int32(0)
+	visited := 0
+	for k := kind[i]; k != kindLeaf; k = kind[i] {
+		visited++
+		base := int(i) * 6
+		rec := sep[base : base+6 : base+6]
+		right := false
+		if k == kindSphere {
+			d0 := q0 - rec[0]
+			d1 := q1 - rec[1]
+			d2 := q2 - rec[2]
+			dd := (d0*d0 + d1*d1) + d2*d2
+			if dd > rec[5] {
+				right = true
+			} else if dd >= rec[4] {
+				right = math.Sqrt(dd)-rec[3] > 0
+			}
+		} else {
+			s := 0.0
+			s += rec[0] * q0
+			s += rec[1] * q1
+			s += rec[2] * q2
+			right = s-rec[3] > 0
+		}
+		if right {
+			i = child[i] + 1
+		} else {
+			i = child[i]
+		}
+	}
+	visited++
+	slot := child[i]
+	lo, hi := f.leafOff[slot], f.leafOff[slot+1]
+	balls := f.leafBalls[lo:hi]
+	recs := f.leafRecs[int(lo)*4 : int(hi)*4]
+	// As in covering2: the m+3 < len(recs) guard makes the scan
+	// bounds-check-free.
+	if closed {
+		bi := 0
+		for m := 0; m+3 < len(recs); m += 4 {
+			d0 := q0 - recs[m]
+			d1 := q1 - recs[m+1]
+			d2 := q2 - recs[m+2]
+			if (d0*d0+d1*d1)+d2*d2 <= recs[m+3]+geom.Eps {
+				out = append(out, int(balls[bi]))
+			}
+			bi++
+		}
+	} else {
+		bi := 0
+		for m := 0; m+3 < len(recs); m += 4 {
+			d0 := q0 - recs[m]
+			d1 := q1 - recs[m+1]
+			d2 := q2 - recs[m+2]
+			if (d0*d0+d1*d1)+d2*d2 < recs[m+3] {
+				out = append(out, int(balls[bi]))
+			}
+			bi++
+		}
+	}
+	return out, visited, len(balls)
+}

@@ -1,0 +1,87 @@
+package vec
+
+// Dimension-specialized kernels for the query and correction hot loops.
+//
+// The generic flat kernels (Dist2Flat, DotFlat) spend a measurable share
+// of their time on loop control when d is a small constant — which it
+// always is for the paper's workloads (d = 2 or 3 in every experiment).
+// The specialized forms fully unroll those two dimensions and fall back
+// to the bounds-check-hoisted generic loop otherwise.
+//
+// Correctness constraint: every kernel must produce bit-identical results
+// to its generic counterpart, because the library's cross-algorithm
+// equality tests compare distances exactly. The unrolled forms therefore
+// accumulate in the same left-to-right order as the loops they replace:
+// for d = 3, (d0² + d1²) + d2² is exactly the generic loop's
+// ((0 + d0²) + d1²) + d2².
+
+// Dist2Func computes the squared Euclidean distance between two raw
+// coordinate slices of a fixed dimension.
+type Dist2Func func(a, b []float64) float64
+
+// DotFunc computes the inner product of two raw coordinate slices of a
+// fixed dimension.
+type DotFunc func(a, b []float64) float64
+
+// Dist2Kernel returns the squared-distance kernel specialized for
+// dimension d. The returned function is bit-identical to Dist2Flat on
+// inputs of that dimension. Callers hoist the selection out of their
+// per-point loops.
+func Dist2Kernel(d int) Dist2Func {
+	switch d {
+	case 2:
+		return dist2Dim2
+	case 3:
+		return dist2Dim3
+	default:
+		return Dist2Flat
+	}
+}
+
+// DotKernel returns the inner-product kernel specialized for dimension d,
+// bit-identical to DotFlat on inputs of that dimension.
+func DotKernel(d int) DotFunc {
+	switch d {
+	case 2:
+		return dotDim2
+	case 3:
+		return dotDim3
+	default:
+		return DotFlat
+	}
+}
+
+func dist2Dim2(a, b []float64) float64 {
+	_, _ = a[1], b[1]
+	d0 := a[0] - b[0]
+	d1 := a[1] - b[1]
+	return d0*d0 + d1*d1
+}
+
+func dist2Dim3(a, b []float64) float64 {
+	_, _ = a[2], b[2]
+	d0 := a[0] - b[0]
+	d1 := a[1] - b[1]
+	d2 := a[2] - b[2]
+	return (d0*d0 + d1*d1) + d2*d2
+}
+
+// The dot kernels start the accumulation from an explicit 0 like the
+// generic loop does: 0 + (-0) is +0, so folding the first product into
+// the initial value would flip the sign of an all-negative-zero result.
+func dotDim2(a, b []float64) float64 {
+	_, _ = a[1], b[1]
+	s := 0.0
+	s += a[0] * b[0]
+	s += a[1] * b[1]
+	return s
+}
+
+func dotDim3(a, b []float64) float64 {
+	_, _ = a[2], b[2]
+	s := 0.0
+	s += a[0] * b[0]
+	s += a[1] * b[1]
+	s += a[2] * b[2]
+	return s
+}

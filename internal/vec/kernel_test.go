@@ -1,0 +1,93 @@
+package vec
+
+import (
+	"math"
+	"testing"
+)
+
+// kernelCases produces adversarial coordinate pairs per dimension:
+// random magnitudes, exact ties, subnormals, huge/tiny mixes. The
+// specialized kernels must agree bit-for-bit with the generic forms.
+func kernelCases(d int) [][2][]float64 {
+	vals := []float64{0, 1, -1, 0.5, -0.25, 1e300, -1e300, 1e-300, 5e-324,
+		math.MaxFloat64 / 4, 3.141592653589793, -2.718281828459045}
+	var cases [][2][]float64
+	// Deterministic LCG so the table is stable without pulling in xrand.
+	state := uint64(12345 + d)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return vals[state>>33%uint64(len(vals))]
+	}
+	for c := 0; c < 200; c++ {
+		a := make([]float64, d)
+		b := make([]float64, d)
+		for i := 0; i < d; i++ {
+			a[i], b[i] = next(), next()
+		}
+		cases = append(cases, [2][]float64{a, b})
+	}
+	return cases
+}
+
+func TestDist2KernelBitIdentical(t *testing.T) {
+	for d := 1; d <= 8; d++ {
+		kern := Dist2Kernel(d)
+		for i, c := range kernelCases(d) {
+			got := kern(c[0], c[1])
+			want := Dist2Flat(c[0], c[1])
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("d=%d case %d: Dist2Kernel=%v (bits %x), Dist2Flat=%v (bits %x)",
+					d, i, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+			// And against the vec.Vec path used elsewhere in the library.
+			if v := Dist2(Vec(c[0]), Vec(c[1])); math.Float64bits(v) != math.Float64bits(got) {
+				t.Fatalf("d=%d case %d: kernel diverges from Dist2", d, i)
+			}
+		}
+	}
+}
+
+func TestDotKernelBitIdentical(t *testing.T) {
+	for d := 1; d <= 8; d++ {
+		kern := DotKernel(d)
+		for i, c := range kernelCases(d) {
+			got := kern(c[0], c[1])
+			want := DotFlat(c[0], c[1])
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("d=%d case %d: DotKernel=%v, DotFlat=%v", d, i, got, want)
+			}
+		}
+	}
+}
+
+// TestKernelLongerSlices checks the kernels tolerate b longer than d (the
+// generic forms truncate b to len(a); the unrolled forms index only [0, d)).
+func TestKernelLongerSlices(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 5, 99}
+	if got, want := Dist2Kernel(2)(a, b), 13.0; got != want {
+		t.Fatalf("d=2 over-long b: got %v want %v", got, want)
+	}
+	if got, want := DotKernel(2)(a, b), 13.0; got != want {
+		t.Fatalf("dot d=2 over-long b: got %v want %v", got, want)
+	}
+}
+
+func BenchmarkDist2Kernel(b *testing.B) {
+	for _, d := range []int{2, 3, 8} {
+		kern := Dist2Kernel(d)
+		x := make([]float64, d)
+		y := make([]float64, d)
+		for i := range x {
+			x[i] = float64(i) * 0.5
+			y[i] = float64(i) * 0.25
+		}
+		b.Run(map[int]string{2: "d=2", 3: "d=3", 8: "d=8"}[d], func(b *testing.B) {
+			var s float64
+			for i := 0; i < b.N; i++ {
+				s += kern(x, y)
+			}
+			_ = s
+		})
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sepdc/internal/kdtree"
 	"sepdc/internal/knngraph"
 	"sepdc/internal/obs"
+	"sepdc/internal/pool"
 	"sepdc/internal/pts"
 	"sepdc/internal/separator"
 	"sepdc/internal/topk"
@@ -319,6 +320,52 @@ func (g *Graph) Neighbors(i int) []Neighbor {
 		out[j] = Neighbor{Index: nb.Idx, Distance: math.Sqrt(nb.Dist2)}
 	}
 	return out
+}
+
+// NeighborsBatch answers Neighbors for every vertex in indices in one
+// call, fanning the materialization across the worker pool. A nil
+// indices slice selects every vertex. Row j equals Neighbors(indices[j])
+// element for element; all rows share one backing array, so a batch of m
+// lookups costs two allocations instead of m. Vertices out of range are
+// rejected before any work starts.
+func (g *Graph) NeighborsBatch(indices []int) ([][]Neighbor, error) {
+	if indices == nil {
+		indices = make([]int, g.n)
+		for i := range indices {
+			indices[i] = i
+		}
+	}
+	out := make([][]Neighbor, len(indices))
+	if len(indices) == 0 {
+		return out, nil
+	}
+	// Carve the per-row windows serially (prefix sums of list lengths),
+	// then fill them in parallel — each row touches a disjoint window of
+	// the shared backing array, so the fan-out needs no synchronization
+	// beyond the range barrier.
+	total := 0
+	for _, i := range indices {
+		if i < 0 || i >= g.n {
+			return nil, fmt.Errorf("sepdc: vertex %d out of range [0,%d)", i, g.n)
+		}
+		total += g.lists[i].Len()
+	}
+	backing := make([]Neighbor, total)
+	off := 0
+	for j, i := range indices {
+		n := g.lists[i].Len()
+		out[j] = backing[off : off+n : off+n]
+		off += n
+	}
+	pool.Shared().ParallelRange(len(indices), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			row := out[j]
+			for m, nb := range g.lists[indices[j]].Items() {
+				row[m] = Neighbor{Index: nb.Idx, Distance: math.Sqrt(nb.Dist2)}
+			}
+		}
+	})
+	return out, nil
 }
 
 // Adjacency returns the sorted undirected adjacency list of vertex i per

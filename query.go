@@ -3,8 +3,13 @@ package sepdc
 import (
 	"context"
 	"fmt"
+	"math"
+	"sync"
 
+	"sepdc/internal/chaos"
 	"sepdc/internal/nbrsys"
+	"sepdc/internal/obs"
+	"sepdc/internal/separator"
 	"sepdc/internal/septree"
 	"sepdc/internal/xrand"
 )
@@ -13,9 +18,20 @@ import (
 // given the k-neighborhood system of a point set, it answers "which
 // points' k-neighborhood balls contain q" in O(k + log n) time with O(n)
 // space.
+//
+// Queries are served from a frozen flat-array layout (children-adjacent
+// nodes, CSR-packed leaf ball ids, pre-squared radii) built once at
+// construction; the pointer tree is kept for statistics and validation.
+// For query-heavy workloads use CoveringBallsBatch or a Batcher, which
+// fan batches across the worker pool and reuse result arenas so
+// steady-state serving performs zero allocations per batch.
 type QueryStructure struct {
-	tree *septree.Tree
-	dim  int
+	tree   *septree.Tree
+	frozen *septree.Frozen
+	dim    int
+
+	mu    sync.Mutex // guards batch (the lazily built shared engine)
+	batch *septree.Batch
 }
 
 // QueryStructureStats reports the built structure's shape, the quantities
@@ -43,6 +59,10 @@ func NewQueryStructure(points [][]float64, k int, seed uint64) (*QueryStructure,
 // NewQueryStructureContext is NewQueryStructure under a context: the
 // separator-tree construction observes cancellation at every node,
 // abandons the partial structure, and returns ctx.Err().
+//
+// Like BuildKNNGraph, the build honors the KNN_CHAOS environment spec:
+// separator-trial fault injection reroutes construction onto its punt
+// paths without changing any query answer.
 func NewQueryStructureContext(ctx context.Context, points [][]float64, k int, seed uint64) (*QueryStructure, error) {
 	ps, err := convert(points)
 	if err != nil {
@@ -51,28 +71,160 @@ func NewQueryStructureContext(ctx context.Context, points [][]float64, k int, se
 	if k < 1 {
 		return nil, fmt.Errorf("sepdc: k must be >= 1, got %d", k)
 	}
+	inj, err := chaos.FromEnv()
+	if err != nil {
+		return nil, fmt.Errorf("sepdc: invalid chaos spec: %w", err)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	var opts *septree.Options
+	if inj != nil {
+		opts = &septree.Options{Sep: &separator.Options{Chaos: inj}}
+	}
 	sys := nbrsys.KNeighborhood(ps.Vecs(), k)
-	tree, err := septree.BuildContext(ctx, sys, xrand.New(seed), nil)
+	tree, err := septree.BuildContext(ctx, sys, xrand.New(seed), opts)
 	if err != nil {
 		return nil, err
 	}
-	return &QueryStructure{tree: tree, dim: ps.Dim}, nil
+	frozen, err := septree.Freeze(tree)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryStructure{tree: tree, frozen: frozen, dim: ps.Dim}, nil
+}
+
+// validateQuery rejects dimension-mismatched or non-finite query
+// coordinates with the library's typed sentinels — the same contract
+// BuildKNNGraph enforces on its input points.
+func (qs *QueryStructure) validateQuery(q []float64) error {
+	if len(q) != qs.dim {
+		return fmt.Errorf("sepdc: query dimension %d, want %d: %w", len(q), qs.dim, ErrDimensionMismatch)
+	}
+	for c, x := range q {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("sepdc: query coordinate %d is %v: %w", c, x, ErrNonFiniteCoordinate)
+		}
+	}
+	return nil
 }
 
 // CoveringBalls returns, in ascending order, the indices of the points
 // whose k-neighborhood ball strictly contains q. By the definition of the
 // k-neighborhood system, i ∈ CoveringBalls(q) means q is closer to point i
 // than i's current k-th nearest neighbor — the "reverse nearest neighbor"
-// relation.
+// relation. Malformed queries are rejected with errors wrapping
+// ErrDimensionMismatch or ErrNonFiniteCoordinate.
 func (qs *QueryStructure) CoveringBalls(q []float64) ([]int, error) {
-	if len(q) != qs.dim {
-		return nil, fmt.Errorf("sepdc: query dimension %d, want %d", len(q), qs.dim)
+	if err := qs.validateQuery(q); err != nil {
+		return nil, err
 	}
-	balls, _ := qs.tree.Query(q)
+	balls, nodes, scanned := qs.frozen.Covering(q, nil)
+	if obs.On() {
+		obs.Add(obs.GQueryServed, 1)
+		obs.Add(obs.GQueryNodes, int64(nodes))
+		obs.Add(obs.GQueryLeafScans, int64(scanned))
+	}
+	if len(balls) == 0 {
+		return nil, nil
+	}
 	return balls, nil
+}
+
+// CoveringBallsBatch answers CoveringBalls for every query in one call,
+// fanning the slice across the worker pool. The result rows are freshly
+// allocated (safe to retain); row i equals CoveringBalls(queries[i])
+// element for element. For zero-allocation steady-state serving, use a
+// Batcher instead. Safe for concurrent use.
+func (qs *QueryStructure) CoveringBallsBatch(queries [][]float64) ([][]int, error) {
+	for i, q := range queries {
+		if err := qs.validateQuery(q); err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	out := make([][]int, len(queries))
+	if len(queries) == 0 {
+		return out, nil
+	}
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	if qs.batch == nil {
+		qs.batch = septree.NewBatch(qs.frozen, 0)
+	}
+	qs.batch.Run(queries)
+	total := 0
+	for i := range queries {
+		total += len(qs.batch.Result(i))
+	}
+	backing := make([]int, 0, total)
+	for i := range queries {
+		r := qs.batch.Result(i)
+		start := len(backing)
+		backing = append(backing, r...)
+		out[i] = backing[start:len(backing):len(backing)]
+	}
+	return out, nil
+}
+
+// Batcher is a dedicated, reusable batched-query engine bound to one
+// QueryStructure. Unlike CoveringBallsBatch it returns views into
+// engine-owned arenas, so a warmed-up Batcher serves every subsequent
+// batch with zero heap allocations. A Batcher is not safe for concurrent
+// use; create one per serving goroutine (they share the same immutable
+// frozen structure).
+type Batcher struct {
+	qs *QueryStructure
+	b  *septree.Batch
+}
+
+// NewBatcher returns a Batcher with the given parallelism (0 selects
+// GOMAXPROCS). Strands beyond the caller's are scheduled on the shared
+// worker pool and degrade to inline execution under saturation.
+func (qs *QueryStructure) NewBatcher(workers int) *Batcher {
+	return &Batcher{qs: qs, b: septree.NewBatch(qs.frozen, workers)}
+}
+
+// Run answers an open-ball covering query for every element of queries.
+// Results are read with Result and stay valid until the next Run.
+func (bt *Batcher) Run(queries [][]float64) error {
+	for i, q := range queries {
+		if err := bt.qs.validateQuery(q); err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	bt.b.Run(queries)
+	return nil
+}
+
+// Len returns the number of queries answered by the last Run.
+func (bt *Batcher) Len() int { return bt.b.Len() }
+
+// Result returns the ball indices covering query i of the last Run, in
+// ascending order. The slice aliases the engine's arena: it is valid only
+// until the next Run and must not be modified. Row contents are identical
+// to CoveringBalls(queries[i]).
+func (bt *Batcher) Result(i int) []int { return bt.b.Result(i) }
+
+// BatchQueryStats is a Batcher's cumulative served-traffic record.
+type BatchQueryStats struct {
+	Batches      int64    // Run invocations
+	Queries      int64    // queries answered
+	NodesVisited int64    // Σ septree nodes visited
+	LeafScanned  int64    // Σ leaf ball candidates scanned
+	Latency      obs.Hist // per-batch wall-time histogram (nanoseconds)
+}
+
+// Stats snapshots the Batcher's cumulative counters and per-batch
+// latency histogram. Call between Runs.
+func (bt *Batcher) Stats() BatchQueryStats {
+	st := bt.b.Stats()
+	return BatchQueryStats{
+		Batches:      st.Batches,
+		Queries:      st.Queries,
+		NodesVisited: st.NodesVisited,
+		LeafScanned:  st.LeafScanned,
+		Latency:      st.Latency,
+	}
 }
 
 // Stats returns the structure's shape statistics.
