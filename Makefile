@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 60s
 
-.PHONY: build vet test test-race race-batch bench bench-json bench-query verify fuzz chaos clean
+.PHONY: build vet test test-race race-batch metrics-audit bench bench-json bench-query verify fuzz chaos clean
 
 build:
 	$(GO) build ./...
@@ -34,11 +34,18 @@ bench-json:
 bench-query:
 	$(GO) test -run '^$$' -bench 'CoveringBalls|NeighborsBatch' -benchmem .
 
-# Focused race gate over the batched query-serving paths. Also covered
-# by test-race's full-module sweep; kept as its own target so a failure
-# names the subsystem.
+# Focused race gate over the batched query-serving paths and the
+# serving telemetry they feed (concurrent Snapshot during recording).
+# Also covered by test-race's full-module sweep; kept as its own target
+# so a failure names the subsystem.
 race-batch:
-	$(GO) test -race -run 'Batch|Batcher|CoveringBalls|QueryStructure' . ./internal/septree/
+	$(GO) test -race -run 'Batch|Batcher|CoveringBalls|QueryStructure|Serve' . ./internal/septree/ ./internal/obs/
+
+# Scrape gate: serve a live -audit run's /metrics, then lint the
+# exposition and assert the paper-invariant gauges (what CI's
+# metrics-audit job runs).
+metrics-audit:
+	./scripts/metrics_audit.sh
 
 # Fuzz smoke: each target gets FUZZTIME (default 60s) of coverage-guided
 # input generation on top of the committed seed corpora in testdata/fuzz.

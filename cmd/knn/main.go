@@ -4,7 +4,8 @@
 //	knn -n 10000 -d 3 -k 4 -algo sphere -dist uniform-cube
 //	knn -input points.txt -k 2 -algo hyperplane -out graph.txt
 //	knn -n 50000 -k 4 -obs -trace build.json   # Chrome trace + phase report
-//	knn -n 50000 -k 4 -debug-addr :8080        # expvar + pprof while running
+//	knn -n 50000 -k 4 -debug-addr :8080        # /metrics + expvar + pprof
+//	knn -n 5000 -d 3 -k 4 -audit               # paper-invariant audit table
 //
 // Input files hold one point per line, whitespace-separated coordinates.
 // With -out, the graph is written as "i: j1 j2 j3 ..." adjacency lines.
@@ -19,7 +20,6 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -50,7 +50,8 @@ func run() error {
 	observe := flag.Bool("obs", false, "collect and print the build's phase/counter report")
 	trace := flag.String("trace", "", "write Chrome trace_event JSON of the build to file (implies -obs)")
 	rnn := flag.Int("rnn", 0, "after the build, serve this many reverse-nearest-neighbor queries through the batched query structure and print serving stats")
-	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address")
+	audit := flag.Bool("audit", false, "audit the paper's invariants (ι(S), split balance, depth, punt rate, space, query cost) over the uniform-ball, jittered-grid, and clustered generators at -n/-d/-k; exits nonzero on any violation")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /statsz, expvar (/debug/vars) and pprof (/debug/pprof) on this address")
 	debugHold := flag.Duration("debug-hold", 0, "keep the process (and -debug-addr server) alive this long after the build")
 	timeout := flag.Duration("timeout", 0, "abandon the build after this long (0 = no limit)")
 	flag.Parse()
@@ -58,12 +59,24 @@ func run() error {
 	if *debugAddr != "" {
 		obs.EnableGlobal()
 		obs.PublishExpvar()
+		mh := sepdc.MetricsHandler()
+		http.Handle("/metrics", mh)
+		http.Handle("/statsz", mh)
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "knn: debug server:", err)
 			}
 		}()
-		fmt.Printf("debug server: http://%s/debug/vars and /debug/pprof\n", *debugAddr)
+		fmt.Printf("debug server: http://%s/metrics, /statsz, /debug/vars, /debug/pprof\n", *debugAddr)
+	}
+
+	if *audit {
+		err := runAudit(*n, *d, *k, *seed, *workers)
+		if *debugHold > 0 {
+			fmt.Printf("holding for %v (debug endpoints stay up)...\n", *debugHold)
+			time.Sleep(*debugHold)
+		}
+		return err
 	}
 
 	var points [][]float64
@@ -119,7 +132,9 @@ func run() error {
 	}
 
 	if rep := g.Stats().Report; rep != nil {
-		printReport(rep)
+		if err := rep.WriteText(os.Stdout); err != nil {
+			return err
+		}
 	}
 	if *trace != "" {
 		if err := writeTrace(*trace, g); err != nil {
@@ -193,48 +208,60 @@ func serveRNN(points [][]float64, k int, seed uint64, n int) error {
 	return nil
 }
 
-// printReport renders the observability report: per-phase wall time,
-// non-zero counters, histogram summaries, and runtime gauges.
-func printReport(rep *obs.BuildReport) {
-	fmt.Println("--- observability report ---")
-	for _, ph := range obs.PhaseNames() {
-		if ns := rep.Phases[ph]; ns > 0 {
-			fmt.Printf("phase %-8s %v\n", ph, time.Duration(ns).Round(time.Microsecond))
+// runAudit builds the query structure over each of the paper's
+// acceptance generators and re-measures the invariants the analysis
+// proves: Theorem 2.1's intersection-number bound, the δ-split and
+// Punting-Lemma depth, Lemma 6.1's linear space, and Theorem 3.1's
+// per-query cost (sampled over live probes). Each report is published
+// as sepdc_audit_* gauges (visible on -debug-addr /metrics) and
+// rendered as a pass/fail table. Probe serving runs through an observed
+// Batcher so the audit run also exercises the serving telemetry.
+func runAudit(n, d, k int, seed uint64, workers int) error {
+	gens := []pointgen.Dist{pointgen.UniformBall, pointgen.JitteredGrid, pointgen.Clustered}
+	obsv := sepdc.NewServeObserver("audit", sepdc.ServeObserverConfig{SampleEvery: 4})
+	failed := 0
+	for _, gen := range gens {
+		pts := pointgen.Dedup(pointgen.MustGenerate(gen, n, d, xrand.New(seed)))
+		points := make([][]float64, len(pts))
+		for i, p := range pts {
+			points[i] = p
+		}
+		qs, err := sepdc.NewQueryStructure(points, k, seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", gen, err)
+		}
+		g := xrand.New(seed + 1)
+		probes := make([][]float64, 500)
+		for i := range probes {
+			if i%3 == 0 {
+				probes[i] = points[g.IntN(len(points))]
+			} else {
+				probes[i] = g.InCube(d)
+			}
+		}
+		bt := qs.NewBatcher(workers)
+		bt.Observe(obsv)
+		if err := bt.Run(probes); err != nil {
+			return fmt.Errorf("%s: %w", gen, err)
+		}
+		rep, err := qs.Audit(probes, sepdc.AuditConfig{})
+		if err != nil {
+			return fmt.Errorf("%s: %w", gen, err)
+		}
+		rep.Gen = string(gen)
+		rep.Publish()
+		if err := rep.WriteTable(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if !rep.Pass {
+			failed++
 		}
 	}
-	names := make([]string, 0, len(rep.Counters))
-	for name := range rep.Counters {
-		names = append(names, name)
+	if failed > 0 {
+		return fmt.Errorf("audit: %d of %d generators violated a paper invariant", failed, len(gens))
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		if v := rep.Counters[name]; v != 0 {
-			fmt.Printf("counter %-24s %d\n", name, v)
-		}
-	}
-	hnames := make([]string, 0, len(rep.Histograms))
-	for name := range rep.Histograms {
-		hnames = append(hnames, name)
-	}
-	sort.Strings(hnames)
-	for _, name := range hnames {
-		h := rep.Histograms[name]
-		if h.Count == 0 {
-			continue
-		}
-		fmt.Printf("hist %-24s count=%d mean=%.1f min=%d max=%d\n",
-			name, h.Count, h.Mean(), h.Min, h.Max)
-	}
-	rnames := make([]string, 0, len(rep.Runtime))
-	for name := range rep.Runtime {
-		rnames = append(rnames, name)
-	}
-	sort.Strings(rnames)
-	for _, name := range rnames {
-		if v := rep.Runtime[name]; v != 0 {
-			fmt.Printf("runtime %-24s %d\n", name, v)
-		}
-	}
+	return nil
 }
 
 func writeTrace(path string, g *sepdc.Graph) error {

@@ -65,6 +65,7 @@ type Report struct {
 	Baseline   []Result      `json:"baseline"`
 	Results    []Result      `json:"results"`
 	Query      []QueryResult `json:"query,omitempty"`
+	Obs        []ObsOverhead `json:"obs_overhead,omitempty"`
 }
 
 // captureEnv gathers the environment header: toolchain, CPU shape, the CPU
@@ -212,7 +213,10 @@ func main() {
 			"sequential, batch engine swept over procs 1/4/NumCPU with GOMAXPROCS pinned; " +
 			"query ns/query and qps are the fastest of query-iters identically-sized timed " +
 			"passes taken round-robin across modes (interleaved minimum: noise-robust on " +
-			"shared hosts and immune to multi-second skew, same work per pass in every mode)",
+			"shared hosts and immune to multi-second skew, same work per pass in every mode); " +
+			"obs_overhead = the same interleaved-minimum protocol comparing a nil-observer " +
+			"batch engine against one feeding a ServeRecorder at the production sampling " +
+			"default, on the largest query cells (acceptance budget: <=5% throughput, 0 allocs)",
 	}
 	rep.Baseline = baseline
 	for _, c := range grid {
@@ -234,6 +238,12 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Query = qr
+		or, err := runObsBench(*queries, *queryIters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "knnbench: obs bench:", err)
+			os.Exit(1)
+		}
+		rep.Obs = or
 	}
 	enc, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"sepdc/internal/nbrsys"
+	"sepdc/internal/obs"
+	"sepdc/internal/pointgen"
+	"sepdc/internal/septree"
+	"sepdc/internal/xrand"
+)
+
+// ObsOverhead is one serving-telemetry overhead measurement: the same
+// batch engine over the same frozen structure and query stream, once
+// with no observer attached and once with a ServeRecorder sampling at
+// the production default (1 in 16 queries fully timed). The acceptance
+// budget for the instrumented path is <= 5% throughput overhead and
+// zero allocations per pass.
+type ObsOverhead struct {
+	N             int     `json:"n"`
+	D             int     `json:"d"`
+	K             int     `json:"k"`
+	Procs         int     `json:"procs"`
+	NumQueries    int     `json:"num_queries"`
+	Iterations    int     `json:"iterations"`
+	SampleEvery   int     `json:"sample_every"`
+	NilNsPerQuery int64   `json:"nil_ns_per_query"`
+	ObsNsPerQuery int64   `json:"obs_ns_per_query"`
+	NilQPS        float64 `json:"nil_qps"`
+	ObsQPS        float64 `json:"obs_qps"`
+	OverheadPct   float64 `json:"overhead_pct"`
+	NilAllocs     int64   `json:"nil_allocs_per_pass"`
+	ObsAllocs     int64   `json:"obs_allocs_per_pass"`
+	SampledTotal  int64   `json:"sampled_total"` // timed queries absorbed by the recorder
+}
+
+// measureObsOverhead times nil-observer vs instrumented serving with the
+// same interleaved-minimum protocol as the query section: passes
+// alternate nil, instrumented, nil, … so both modes sample the same
+// wall-clock windows and the minimum discards host noise.
+func measureObsOverhead(c queryCfg, numQueries, iters int) (ObsOverhead, error) {
+	g := xrand.New(uint64(c.n*31 + c.d))
+	pts := pointgen.Dedup(pointgen.MustGenerate(pointgen.UniformCube, c.n, c.d, g.Split()))
+	sys := nbrsys.KNeighborhood(pts, c.k)
+	tree, err := septree.Build(sys, xrand.New(42), nil)
+	if err != nil {
+		return ObsOverhead{}, err
+	}
+	frozen, err := septree.Freeze(tree)
+	if err != nil {
+		return ObsOverhead{}, err
+	}
+	queries := make([][]float64, numQueries)
+	for i := range queries {
+		if i%3 == 0 {
+			queries[i] = pts[g.IntN(len(pts))]
+		} else {
+			queries[i] = g.InCube(c.d)
+		}
+	}
+
+	plain := septree.NewBatch(frozen, 1)
+	rec := obs.NewServeRecorder(obs.ServeConfig{}, 1) // production defaults: 1 in 16 sampled
+	inst := septree.NewBatch(frozen, 1)
+	inst.Observe(rec)
+
+	type modeRun struct {
+		b      *septree.Batch
+		best   time.Duration
+		allocs uint64
+	}
+	modes := []*modeRun{{b: plain}, {b: inst}}
+	for _, m := range modes {
+		m.best = time.Duration(1<<63 - 1)
+		m.b.Run(queries) // warm arenas, recorder rings, and tail buffers
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	for i := 0; i < iters; i++ {
+		for _, m := range modes {
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			m.b.Run(queries)
+			el := time.Since(start)
+			runtime.ReadMemStats(&after)
+			if el < m.best {
+				m.best = el
+			}
+			m.allocs += after.Mallocs - before.Mallocs
+		}
+	}
+	snap := rec.Snapshot()
+	res := ObsOverhead{
+		N: len(pts), D: c.d, K: c.k, Procs: 1,
+		NumQueries: numQueries, Iterations: iters,
+		SampleEvery:   int(rec.SampleEvery()),
+		NilNsPerQuery: modes[0].best.Nanoseconds() / int64(numQueries),
+		ObsNsPerQuery: modes[1].best.Nanoseconds() / int64(numQueries),
+		NilQPS:        float64(numQueries) / modes[0].best.Seconds(),
+		ObsQPS:        float64(numQueries) / modes[1].best.Seconds(),
+		NilAllocs:     int64(modes[0].allocs) / int64(iters),
+		ObsAllocs:     int64(modes[1].allocs) / int64(iters),
+		SampledTotal:  snap.Sampled,
+	}
+	res.OverheadPct = 100 * (float64(res.ObsNsPerQuery) - float64(res.NilNsPerQuery)) / float64(res.NilNsPerQuery)
+	return res, nil
+}
+
+// runObsBench measures the telemetry overhead on the large query-grid
+// cells, where per-query work is smallest relative to the fixed
+// sampling cost and the overhead is therefore most visible.
+func runObsBench(numQueries, iters int) ([]ObsOverhead, error) {
+	var all []ObsOverhead
+	for _, c := range []queryCfg{{100000, 2, 4}, {100000, 3, 4}} {
+		r, err := measureObsOverhead(c, numQueries, iters)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "obs   n=%-6d d=%d k=%d  nil %6d ns/q  obs %6d ns/q  overhead %+5.1f%%  allocs nil=%d obs=%d\n",
+			r.N, r.D, r.K, r.NilNsPerQuery, r.ObsNsPerQuery, r.OverheadPct, r.NilAllocs, r.ObsAllocs)
+		all = append(all, r)
+	}
+	return all, nil
+}

@@ -1,0 +1,129 @@
+// Command promlint validates a Prometheus text exposition (format
+// 0.0.4) read from stdin or a file, and optionally asserts that gauge
+// values fall in a range:
+//
+//	curl -s http://127.0.0.1:8080/metrics | promlint
+//	promlint -gauge 'sepdc_audit_pass:1:1' metrics.txt
+//	promlint -gauge 'sepdc_audit_iota_ratio:0:1' -gauge 'sepdc_audit_pass:1:1' metrics.txt
+//
+// Every series of an asserted family must exist and lie within
+// [min, max]; otherwise promlint prints the violation and exits 1.
+// CI uses it to gate the /metrics scrape of cmd/knn -audit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"sepdc/internal/obs/promtext"
+)
+
+// gaugeCheck is one -gauge name:min:max assertion.
+type gaugeCheck struct {
+	name     string
+	min, max float64
+}
+
+// gaugeFlags collects repeated -gauge values.
+type gaugeFlags []gaugeCheck
+
+func (g *gaugeFlags) String() string {
+	parts := make([]string, len(*g))
+	for i, c := range *g {
+		parts[i] = fmt.Sprintf("%s:%g:%g", c.name, c.min, c.max)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (g *gaugeFlags) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("want name:min:max, got %q", v)
+	}
+	lo, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return fmt.Errorf("bad min in %q: %w", v, err)
+	}
+	hi, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return fmt.Errorf("bad max in %q: %w", v, err)
+	}
+	if parts[0] == "" || lo > hi {
+		return fmt.Errorf("bad assertion %q", v)
+	}
+	*g = append(*g, gaugeCheck{name: parts[0], min: lo, max: hi})
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var checks gaugeFlags
+	flag.Var(&checks, "gauge", "assert every series of a family is in range, as name:min:max (repeatable)")
+	quiet := flag.Bool("q", false, "suppress the summary line")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	src := "stdin"
+	if flag.NArg() > 1 {
+		return fmt.Errorf("at most one input file, got %d", flag.NArg())
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in, src = f, flag.Arg(0)
+	}
+
+	exp, err := promtext.Lint(in)
+	if err != nil {
+		return fmt.Errorf("%s: %w", src, err)
+	}
+
+	violations := 0
+	for _, c := range checks {
+		series := exp.Find(c.name)
+		if len(series) == 0 {
+			fmt.Fprintf(os.Stderr, "promlint: %s: no series for asserted family %s\n", src, c.name)
+			violations++
+			continue
+		}
+		for _, s := range series {
+			if s.Value < c.min || s.Value > c.max {
+				fmt.Fprintf(os.Stderr, "promlint: %s: %s%s = %g outside [%g, %g]\n",
+					src, s.Name, labelString(s.Labels), s.Value, c.min, c.max)
+				violations++
+			}
+		}
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d gauge assertion(s) failed", violations)
+	}
+	if !*quiet {
+		fmt.Printf("promlint: %s: %d series in %d families ok (%d assertions)\n",
+			src, len(exp.Series), len(exp.Types), len(checks))
+	}
+	return nil
+}
+
+func labelString(labels []promtext.Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = fmt.Sprintf("%s=%q", l.Name, l.Value)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

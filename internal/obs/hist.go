@@ -5,10 +5,25 @@ import (
 	"math/bits"
 )
 
-// histBuckets is the number of log2 buckets: bucket i counts values whose
-// bit length is i, i.e. v in [2^{i-1}, 2^i). Bucket 0 holds v == 0. The
-// top bucket absorbs everything beyond, which no paper quantity reaches
-// on feasible inputs.
+// histBuckets is the number of log2 buckets. Bucket semantics, exactly:
+//
+//   - Bucket i (1 ≤ i ≤ histBuckets−2) counts values whose bit length is
+//     i, i.e. v ∈ [2^{i−1}, 2^i). A value exactly on a power-of-two edge
+//     belongs to the bucket whose range it OPENS: v = 2^j has bit length
+//     j+1 and lands in bucket j+1, never in bucket j (whose inclusive
+//     upper bound Le = 2^j − 1 excludes it).
+//   - Bucket 0 holds exactly v == 0 (negative observations are clamped
+//     to 0 before bucketing; no paper quantity is negative).
+//   - The top bucket (i = histBuckets−1) is an overflow bucket: it
+//     absorbs every v ≥ 2^{histBuckets−2} — including values whose bit
+//     length exceeds the array — so its exported Le is math.MaxInt64
+//     ("+Inf" in Prometheus exposition), not 2^{histBuckets−1} − 1.
+//
+// Snapshots export each non-empty bucket with Le = 2^i − 1, the largest
+// value the bucket can hold (inclusive upper bound), so cumulative
+// ≤-style readings (Prometheus `le`) are exact. 40 buckets cover every
+// feasible paper quantity: 2^38 nanoseconds is over four minutes and
+// 2^38 elements is far past addressable problem sizes.
 const histBuckets = 40
 
 // histogram is a lock-free (strand-confined) log2 histogram with exact
@@ -70,7 +85,8 @@ type Hist struct {
 	Min   int64 `json:"min"`
 	Max   int64 `json:"max"`
 	// Buckets lists the non-empty log2 buckets in ascending order; Le is
-	// the bucket's inclusive upper bound (2^i − 1).
+	// the bucket's inclusive upper bound (2^i − 1 for bucket i, and
+	// math.MaxInt64 for the overflow top bucket — see histBuckets).
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
@@ -117,6 +133,12 @@ func (h *histogram) snapshot() Hist {
 			continue
 		}
 		le := int64(1)<<uint(i) - 1
+		if i == histBuckets-1 {
+			// The top bucket is an overflow bucket (it holds every value
+			// of bit length ≥ histBuckets−1); its honest upper bound is
+			// unbounded, not 2^{histBuckets−1} − 1.
+			le = math.MaxInt64
+		}
 		out.Buckets = append(out.Buckets, Bucket{Le: le, Count: c})
 	}
 	return out

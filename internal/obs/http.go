@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+
+	"sepdc/internal/obs/promtext"
+)
+
+// Handler returns the observability endpoint mux:
+//
+//	/metrics — Prometheus text exposition (format 0.0.4): the
+//	           process-wide sepdc_* counters, pool gauges, every
+//	           registered serve recorder's phase-split histograms and
+//	           rolling-window quantiles, and the registered gauges
+//	           (paper-invariant audit results).
+//	/statsz  — the same telemetry as machine-readable JSON: full
+//	           ServeSnapshot per registered recorder (including tail
+//	           samples with descent paths, which have no Prometheus
+//	           representation) plus the global counters.
+//
+// Mount it on any mux; cmd/knn wires it into -debug-addr alongside
+// expvar and pprof.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", serveMetrics)
+	mux.HandleFunc("/statsz", serveStatsz)
+	return mux
+}
+
+func serveMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	pw := promtext.NewWriter(w)
+
+	// Process-wide counters, stable order.
+	globals := GlobalSnapshot()
+	names := make([]string, 0, len(globals))
+	for name := range globals {
+		if name == "pool_inflight" || name == "pool_max_inflight" {
+			continue // gauges, emitted below
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pw.Counter("sepdc_"+name+"_total", globalHelp(name), nil, float64(globals[name]))
+	}
+	pw.Gauge("sepdc_pool_inflight", "Tasks currently held by worker-pool workers.",
+		promtext.GaugeSample{Value: float64(globals["pool_inflight"])})
+	pw.Gauge("sepdc_pool_max_inflight", "High-water mark of concurrent worker-pool tasks.",
+		promtext.GaugeSample{Value: float64(globals["pool_max_inflight"])})
+
+	// Serve recorders: exact served counts, sampled phase-split
+	// histograms, and window quantiles as a summary.
+	serveNames, snaps := serveSnapshots()
+	for _, name := range serveNames {
+		s := snaps[name]
+		l := []promtext.Label{{Name: "engine", Value: name}}
+		pw.Counter("sepdc_serve_"+name+"_queries_total",
+			"Queries served by the batched engine (exact).", nil, float64(s.Queries))
+		pw.Counter("sepdc_serve_"+name+"_sampled_total",
+			"Queries that took the timed phase-split sample path.", nil, float64(s.Sampled))
+		pw.Gauge("sepdc_serve_"+name+"_sample_every",
+			"Sampling period: 1 in this many queries is fully timed.",
+			promtext.GaugeSample{Value: float64(s.SampleEvery)})
+		histFam(pw, "sepdc_serve_"+name+"_latency_ns", "Sampled per-query latency (descent+scan), nanoseconds.", l, s.Latency)
+		histFam(pw, "sepdc_serve_"+name+"_descent_ns", "Sampled per-query septree descent time, nanoseconds.", l, s.Descent)
+		histFam(pw, "sepdc_serve_"+name+"_leaf_scan_ns", "Sampled per-query leaf candidate-scan time, nanoseconds.", l, s.Scan)
+		histFam(pw, "sepdc_serve_"+name+"_nodes_visited", "Sampled per-query septree nodes visited (Theorem 3.1: O(log n)).", l, s.Nodes)
+		histFam(pw, "sepdc_serve_"+name+"_leaf_scanned", "Sampled per-query leaf ball candidates scanned (Theorem 3.1: O(k + log n)).", l, s.Scanned)
+		pw.Summary("sepdc_serve_"+name+"_window_latency_ns",
+			"Rolling-window latency quantiles over sampled queries, nanoseconds.", l,
+			[]promtext.Quantile{
+				{Q: 0.5, Value: float64(s.Window.P50)},
+				{Q: 0.95, Value: float64(s.Window.P95)},
+				{Q: 0.99, Value: float64(s.Window.P99)},
+				{Q: 0.999, Value: float64(s.Window.P999)},
+			},
+			float64(s.Latency.Sum), s.Latency.Count)
+	}
+
+	// Registered gauges (audit results et al.).
+	gaugeNames, byName, help := gaugeSnapshot()
+	for _, name := range gaugeNames {
+		pts := byName[name]
+		samples := make([]promtext.GaugeSample, 0, len(pts))
+		for _, p := range pts {
+			var labels []promtext.Label
+			if p.key.LabelName != "" {
+				labels = []promtext.Label{{Name: p.key.LabelName, Value: p.key.LabelValue}}
+			}
+			samples = append(samples, promtext.GaugeSample{Labels: labels, Value: p.val})
+		}
+		pw.Gauge(name, help[name], samples...)
+	}
+
+	if err := pw.Err(); err != nil {
+		// Headers are gone; all we can do is abort the body so the
+		// scraper sees a truncated (invalid) exposition and retries.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// histFam converts an obs.Hist (non-cumulative log2 buckets, inclusive
+// upper bounds, MaxInt64 sentinel top bucket) into the cumulative
+// +Inf-terminated form the exposition requires.
+func histFam(pw *promtext.Writer, name, help string, labels []promtext.Label, h Hist) {
+	pts := make([]promtext.BucketPoint, 0, len(h.Buckets)+1)
+	cum := int64(0)
+	for _, b := range h.Buckets {
+		cum += b.Count
+		le := float64(b.Le)
+		if b.Le == math.MaxInt64 {
+			le = math.Inf(1)
+		}
+		pts = append(pts, promtext.BucketPoint{Le: le, CumCount: cum})
+	}
+	pw.Histogram(name, help, labels, pts, float64(h.Sum), h.Count)
+}
+
+func globalHelp(name string) string {
+	if h, ok := globalHelpText[name]; ok {
+		return h
+	}
+	return "sepdc process-wide counter."
+}
+
+var globalHelpText = map[string]string{
+	"pool_submitted":        "Tasks accepted by an idle worker-pool worker.",
+	"pool_inline":           "Tasks run inline because the pool was saturated.",
+	"query_batches":         "Batched covering-ball Run invocations.",
+	"query_served":          "Covering-ball queries answered (batched + single).",
+	"query_nodes_visited":   "Septree nodes visited answering queries.",
+	"query_leaf_scans":      "Leaf ball candidates scanned answering queries.",
+	"septree_builds":        "Section-3 query structures built.",
+	"septree_forced_leaves": "Oversized (forced) septree leaves.",
+	"separator_candidates":  "Unit Time Separator candidates generated.",
+	"separator_fallbacks":   "Separator searches that exhausted the trial budget.",
+}
+
+// statszPayload is the /statsz JSON document.
+type statszPayload struct {
+	Globals map[string]int64          `json:"globals"`
+	Serves  map[string]*ServeSnapshot `json:"serves,omitempty"`
+	Gauges  []statszGauge             `json:"gauges,omitempty"`
+}
+
+type statszGauge struct {
+	Name  string  `json:"name"`
+	Label string  `json:"label,omitempty"`
+	Value float64 `json:"value"`
+}
+
+func serveStatsz(w http.ResponseWriter, req *http.Request) {
+	_, snaps := serveSnapshots()
+	gaugeNames, byName, _ := gaugeSnapshot()
+	doc := statszPayload{Globals: GlobalSnapshot(), Serves: snaps}
+	for _, name := range gaugeNames {
+		for _, p := range byName[name] {
+			label := ""
+			if p.key.LabelName != "" {
+				label = p.key.LabelName + "=" + p.key.LabelValue
+			}
+			doc.Gauges = append(doc.Gauges, statszGauge{Name: name, Label: label, Value: p.val})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc) // best effort: the connection is the only sink
+}

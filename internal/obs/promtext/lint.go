@@ -1,0 +1,343 @@
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Series is one parsed sample line.
+type Series struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Exposition is a parsed scrape: declared families and all samples.
+type Exposition struct {
+	// Types maps family name → declared TYPE (counter, gauge, histogram,
+	// summary, untyped).
+	Types map[string]string
+	// Help maps family name → HELP text.
+	Help map[string]string
+	// Series lists every sample line in document order.
+	Series []Series
+}
+
+// Find returns all samples with the given metric name (for histograms
+// and summaries, pass the full series name, e.g. foo_bucket).
+func (e *Exposition) Find(name string) []Series {
+	var out []Series
+	for _, s := range e.Series {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Lint parses a text exposition and verifies it is well-formed:
+// families declared before their samples, samples grouped by family,
+// histograms with ascending cumulative buckets ending in +Inf and a
+// consistent _count, counters non-negative. It returns the parsed
+// exposition so callers can make additional assertions (e.g. gauge
+// bounds).
+func Lint(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Types: map[string]string{}, Help: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	lastFamily := ""
+	closed := map[string]bool{} // families whose sample block has ended
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := exp.parseComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyOf(exp.Types, s.Name)
+		if _, declared := exp.Types[fam]; !declared {
+			return nil, fmt.Errorf("line %d: sample %q before any # TYPE for %q", lineNo, s.Name, fam)
+		}
+		if fam != lastFamily {
+			if closed[fam] {
+				return nil, fmt.Errorf("line %d: family %q samples not contiguous", lineNo, fam)
+			}
+			if lastFamily != "" {
+				closed[lastFamily] = true
+			}
+			lastFamily = fam
+		}
+		exp.Series = append(exp.Series, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := exp.check(); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+func (e *Exposition) parseComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %q", typ, name)
+		}
+		if _, dup := e.Types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		e.Types[name] = typ
+	case "HELP":
+		if len(fields) >= 3 {
+			name := fields[2]
+			if len(fields) == 4 {
+				e.Help[name] = fields[3]
+			} else {
+				e.Help[name] = ""
+			}
+		}
+	}
+	return nil
+}
+
+// familyOf maps a series name to its declared family, peeling histogram
+// and summary suffixes when the base family is declared.
+func familyOf(types map[string]string, series string) string {
+	if _, ok := types[series]; ok {
+		return series
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(series, suf); ok {
+			if t, declared := types[base]; declared && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return series
+}
+
+func parseSample(line string) (Series, error) {
+	var s Series
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var nameEnd int
+	if brace >= 0 && brace < strings.IndexByte(rest+" ", ' ') {
+		nameEnd = brace
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return s, fmt.Errorf("no value on sample line %q", line)
+		}
+		nameEnd = sp
+	}
+	s.Name = rest[:nameEnd]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[nameEnd:]
+	if strings.HasPrefix(rest, "{") {
+		end := findLabelsEnd(rest)
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp may follow the value; we accept and ignore it.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", rest, line)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// findLabelsEnd locates the closing brace of a label set, honoring
+// escaped quotes inside label values.
+func findLabelsEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func parseLabels(body string) ([]Label, error) {
+	var out []Label
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair")
+		}
+		name := strings.TrimSpace(body[i : i+eq])
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("label %q value not quoted", name)
+		}
+		i++
+		var val strings.Builder
+		for i < len(body) && body[i] != '"' {
+			if body[i] == '\\' && i+1 < len(body) {
+				i++
+				switch body[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(body[i])
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %q", body[i], name)
+				}
+			} else {
+				val.WriteByte(body[i])
+			}
+			i++
+		}
+		if i >= len(body) {
+			return nil, fmt.Errorf("unterminated value for label %q", name)
+		}
+		i++ // closing quote
+		out = append(out, Label{name, val.String()})
+		if i < len(body) && body[i] == ',' {
+			i++
+		}
+	}
+	return out, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// check runs the per-family semantic validations.
+func (e *Exposition) check() error {
+	for name, typ := range e.Types {
+		switch typ {
+		case "counter":
+			for _, s := range e.Find(name) {
+				if s.Value < 0 {
+					return fmt.Errorf("counter %q has negative value %v", name, s.Value)
+				}
+			}
+		case "histogram":
+			if err := e.checkHistogram(name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkHistogram validates bucket monotonicity and count consistency
+// per label set (ignoring the le label).
+func (e *Exposition) checkHistogram(name string) error {
+	type group struct {
+		les  []float64
+		cums []float64
+	}
+	groups := map[string]*group{}
+	for _, s := range e.Find(name + "_bucket") {
+		var le float64
+		found := false
+		var rest []Label
+		for _, l := range s.Labels {
+			if l.Name == "le" {
+				v, err := parseValue(l.Value)
+				if err != nil {
+					return fmt.Errorf("histogram %q: bad le %q", name, l.Value)
+				}
+				le, found = v, true
+			} else {
+				rest = append(rest, l)
+			}
+		}
+		if !found {
+			return fmt.Errorf("histogram %q: bucket without le label", name)
+		}
+		key := formatLabels(rest)
+		g := groups[key]
+		if g == nil {
+			g = &group{}
+			groups[key] = g
+		}
+		g.les = append(g.les, le)
+		g.cums = append(g.cums, s.Value)
+	}
+	counts := map[string]float64{}
+	for _, s := range e.Find(name + "_count") {
+		counts[formatLabels(s.Labels)] = s.Value
+	}
+	for key, g := range groups {
+		for i := 1; i < len(g.les); i++ {
+			if g.les[i] <= g.les[i-1] {
+				return fmt.Errorf("histogram %q%s: le not ascending", name, key)
+			}
+			if g.cums[i] < g.cums[i-1] {
+				return fmt.Errorf("histogram %q%s: cumulative count decreases", name, key)
+			}
+		}
+		last := len(g.les) - 1
+		if last < 0 || !math.IsInf(g.les[last], 1) {
+			return fmt.Errorf("histogram %q%s: missing +Inf bucket", name, key)
+		}
+		if c, ok := counts[key]; ok && c != g.cums[last] {
+			return fmt.Errorf("histogram %q%s: +Inf bucket %v != count %v", name, key, g.cums[last], c)
+		}
+	}
+	return nil
+}

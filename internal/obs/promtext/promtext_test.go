@@ -1,0 +1,173 @@
+package promtext
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestWriterRoundTrip: everything the Writer emits must pass Lint, and
+// the parsed exposition must contain the written values.
+func TestWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Counter("rpc_requests_total", "Requests served.", []Label{{"job", "knn"}}, 12345)
+	w.Gauge("pool_inflight", "Tasks in flight.",
+		GaugeSample{Labels: []Label{{"pool", "shared"}}, Value: 3},
+		GaugeSample{Labels: []Label{{"pool", "aux"}}, Value: 0},
+	)
+	w.Histogram("query_latency_ns", "Per-query latency.", []Label{{"engine", "batch"}},
+		[]BucketPoint{{255, 10}, {1023, 40}, {math.Inf(1), 45}}, 33000, 45)
+	w.Summary("window_latency_ns", "Rolling window.", nil,
+		[]Quantile{{0.5, 400}, {0.99, 2100}}, 123456, 512)
+	if err := w.Err(); err != nil {
+		t.Fatalf("writer error: %v", err)
+	}
+
+	exp, err := Lint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("lint rejected writer output: %v\n%s", err, buf.String())
+	}
+	if exp.Types["rpc_requests_total"] != "counter" {
+		t.Errorf("types = %v", exp.Types)
+	}
+	if got := exp.Find("rpc_requests_total"); len(got) != 1 || got[0].Value != 12345 {
+		t.Errorf("counter samples = %+v", got)
+	}
+	if got := exp.Find("pool_inflight"); len(got) != 2 {
+		t.Errorf("gauge samples = %+v", got)
+	}
+	buckets := exp.Find("query_latency_ns_bucket")
+	if len(buckets) != 3 {
+		t.Fatalf("bucket samples = %+v", buckets)
+	}
+	if got := exp.Find("window_latency_ns"); len(got) != 2 || got[1].Value != 2100 {
+		t.Errorf("summary quantiles = %+v", got)
+	}
+}
+
+// TestWriterAppendsInfBucket: a finite-only bucket list gets the
+// mandatory +Inf bucket synthesized from count.
+func TestWriterAppendsInfBucket(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Histogram("h", "", nil, []BucketPoint{{7, 2}, {63, 5}}, 100, 9)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `h_bucket{le="+Inf"} 9`) {
+		t.Fatalf("no synthesized +Inf bucket:\n%s", buf.String())
+	}
+	if _, err := Lint(&buf); err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+}
+
+func TestWriterRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		emit func(w *Writer)
+	}{
+		{"counter without _total", func(w *Writer) { w.Counter("x", "", nil, 1) }},
+		{"bad metric name", func(w *Writer) { w.Gauge("9lives", "") }},
+		{"bad label name", func(w *Writer) {
+			w.Gauge("g", "", GaugeSample{Labels: []Label{{"bad-name", "v"}}, Value: 1})
+		}},
+		{"duplicate family", func(w *Writer) { w.Gauge("g", ""); w.Gauge("g", "") }},
+		{"descending buckets", func(w *Writer) {
+			w.Histogram("h", "", nil, []BucketPoint{{63, 5}, {7, 2}}, 0, 5)
+		}},
+		{"decreasing cumulative", func(w *Writer) {
+			w.Histogram("h", "", nil, []BucketPoint{{7, 5}, {63, 2}}, 0, 5)
+		}},
+		{"inf bucket != count", func(w *Writer) {
+			w.Histogram("h", "", nil, []BucketPoint{{math.Inf(1), 4}}, 0, 5)
+		}},
+		{"quantile out of range", func(w *Writer) {
+			w.Summary("s", "", nil, []Quantile{{1.5, 9}}, 0, 1)
+		}},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		c.emit(w)
+		if w.Err() == nil {
+			t.Errorf("%s: writer accepted invalid input:\n%s", c.name, buf.String())
+		}
+	}
+}
+
+// failWriter fails after n bytes, for error-propagation coverage.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	if len(p) > f.n {
+		p = p[:f.n]
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriterPropagatesWriteError(t *testing.T) {
+	w := NewWriter(&failWriter{n: 10})
+	w.Gauge("g", "help", GaugeSample{Value: 1})
+	w.Counter("c_total", "", nil, 2)
+	if w.Err() == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Gauge("g", "", GaugeSample{
+		Labels: []Label{{"gen", `quo"te\slash` + "\nnewline"}},
+		Value:  1,
+	})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := Lint(&buf)
+	if err != nil {
+		t.Fatalf("lint: %v\n%s", err, buf.String())
+	}
+	got := exp.Find("g")
+	if len(got) != 1 || got[0].Labels[0].Value != `quo"te\slash`+"\nnewline" {
+		t.Fatalf("escaped label did not round-trip: %+v", got)
+	}
+}
+
+func TestLintCatchesMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"sample before TYPE", "foo 1\n"},
+		{"histogram without inf", "# TYPE h histogram\nh_bucket{le=\"10\"} 1\nh_sum 5\nh_count 1\n"},
+		{"negative counter", "# TYPE c_total counter\nc_total -4\n"},
+		{"non-contiguous family", "# TYPE a gauge\n# TYPE b gauge\na 1\nb 2\na 3\n"},
+		{"garbage value", "# TYPE g gauge\ng banana\n"},
+		{"cumulative decrease", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n"},
+	}
+	for _, c := range cases {
+		if _, err := Lint(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: lint accepted malformed exposition", c.name)
+		}
+	}
+}
+
+func TestLintAcceptsTimestampsAndComments(t *testing.T) {
+	doc := "# scraped by test\n# TYPE g gauge\ng{x=\"1\"} 4 1712000000\n\n# TYPE u untyped\nu 9\n"
+	exp, err := Lint(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if len(exp.Series) != 2 {
+		t.Fatalf("series = %+v", exp.Series)
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// The registry is the glue between long-lived telemetry producers (serve
+// recorders, the paper-invariant auditor) and the /metrics handler: a
+// producer registers once under a stable name, the handler walks the
+// registry at scrape time. Everything here is scrape-path only — nothing
+// on a query hot path touches the registry.
+
+// GaugeKey identifies one gauge series: metric name + one optional
+// label (enough for the audit gauges, which are keyed by generator).
+type GaugeKey struct {
+	Name       string
+	LabelName  string
+	LabelValue string
+}
+
+type registry struct {
+	mu     sync.Mutex
+	serves map[string]*ServeRecorder
+	gauges map[GaugeKey]float64
+	help   map[string]string
+}
+
+var reg = registry{
+	serves: map[string]*ServeRecorder{},
+	gauges: map[GaugeKey]float64{},
+	help:   map[string]string{},
+}
+
+// RegisterServe publishes a serve recorder under name (e.g. "batch");
+// re-registering a name replaces the previous recorder. A nil recorder
+// unregisters. The /metrics handler exports its snapshot per scrape.
+func RegisterServe(name string, r *ServeRecorder) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if r == nil {
+		delete(reg.serves, name)
+		return
+	}
+	reg.serves[name] = r
+}
+
+// SetGauge publishes (or updates) one gauge series. help is recorded
+// per metric name on first use.
+func SetGauge(k GaugeKey, help string, v float64) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	reg.gauges[k] = v
+	if _, ok := reg.help[k.Name]; !ok {
+		reg.help[k.Name] = help
+	}
+}
+
+// serveSnapshots returns name → snapshot for every registered serve
+// recorder, names sorted for deterministic exposition order.
+func serveSnapshots() ([]string, map[string]*ServeSnapshot) {
+	reg.mu.Lock()
+	serves := make(map[string]*ServeRecorder, len(reg.serves))
+	for k, v := range reg.serves {
+		serves[k] = v
+	}
+	reg.mu.Unlock()
+	names := make([]string, 0, len(serves))
+	out := make(map[string]*ServeSnapshot, len(serves))
+	for name, r := range serves {
+		names = append(names, name)
+		out[name] = r.Snapshot()
+	}
+	sort.Strings(names)
+	return names, out
+}
+
+// gaugeSnapshot returns the registered gauges grouped by metric name,
+// names sorted, series within a name sorted by label value.
+func gaugeSnapshot() ([]string, map[string][]gaugePoint, map[string]string) {
+	reg.mu.Lock()
+	byName := map[string][]gaugePoint{}
+	for k, v := range reg.gauges {
+		byName[k.Name] = append(byName[k.Name], gaugePoint{k, v})
+	}
+	help := make(map[string]string, len(reg.help))
+	for k, v := range reg.help {
+		help[k] = v
+	}
+	reg.mu.Unlock()
+	names := make([]string, 0, len(byName))
+	for name, pts := range byName {
+		names = append(names, name)
+		sort.Slice(pts, func(i, j int) bool {
+			if pts[i].key.LabelName != pts[j].key.LabelName {
+				return pts[i].key.LabelName < pts[j].key.LabelName
+			}
+			return pts[i].key.LabelValue < pts[j].key.LabelValue
+		})
+		byName[name] = pts
+	}
+	sort.Strings(names)
+	return names, byName, help
+}
+
+type gaugePoint struct {
+	key GaugeKey
+	val float64
+}

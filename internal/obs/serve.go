@@ -1,0 +1,499 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the serving-side half of the observability layer: where a
+// build Recorder observes one construction and dies with it, a
+// ServeRecorder is a long-lived per-engine latency capture for the
+// batched query path. Design constraints, in order:
+//
+//  1. A nil recorder (or nil strand) must cost one predictable branch
+//     per query on the batch hot loop and allocate nothing — the same
+//     contract as Shard.
+//
+//  2. An enabled recorder must not serialize the strands and must not
+//     allocate in steady state. Each batch strand records into its own
+//     cache-padded ServeStrand; the recording fields are atomics (so
+//     concurrent Snapshot readers are race-free) but are only ever
+//     written by one strand at a time, so there is no cross-strand
+//     contention. The only lock is a per-strand mutex on the tail
+//     sampler, taken when a query beats the current admission threshold
+//     — by construction a vanishing fraction of traffic.
+//
+//  3. Full per-query timing is sampled. The frozen descent costs a few
+//     hundred nanoseconds; bracketing every query with three monotonic
+//     clock reads would be a double-digit-percent tax. A strand instead
+//     times 1 in 2^SampleShift queries (deterministically, on a
+//     strand-local tick), and the sampled queries take a phase-split
+//     path: descent and leaf-scan timed separately, descent path
+//     captured for the tail sampler. The untimed majority pay one
+//     branch. Counts of queries/nodes/candidates remain exact (the
+//     batch engine tracks them regardless).
+
+// ServeConfig configures a ServeRecorder. The zero value selects the
+// defaults noted per field.
+type ServeConfig struct {
+	// SampleShift samples 1 in 2^SampleShift queries for full phase-split
+	// timing. 0 means the default (4, i.e. 1 in 16); use Every to time
+	// every query.
+	SampleShift uint
+	// Every times every query (SampleShift is ignored). Costly — for
+	// tests and offline analysis, not serving.
+	Every bool
+	// Window is the per-strand rolling window (in sampled queries) the
+	// p50/p95/p99/p999 snapshot quantiles are computed over. 0 selects
+	// 512; snapshots merge the windows of every strand.
+	Window int
+	// Tail is how many of the slowest sampled queries each strand
+	// retains, with descent path and candidate counts. 0 selects 8.
+	Tail int
+	// PathCap bounds the descent-path nodes stored per tail sample
+	// (deeper paths are truncated). 0 selects 64 — comfortably above the
+	// O(log n) height of any feasible tree.
+	PathCap int
+}
+
+const (
+	defaultServeShift   = 4
+	defaultServeWindow  = 512
+	defaultServeTail    = 8
+	defaultServePathCap = 64
+)
+
+func (c ServeConfig) shift() uint {
+	if c.Every {
+		return 0
+	}
+	if c.SampleShift == 0 {
+		return defaultServeShift
+	}
+	return c.SampleShift
+}
+
+func (c ServeConfig) window() int {
+	if c.Window <= 0 {
+		return defaultServeWindow
+	}
+	return c.Window
+}
+
+func (c ServeConfig) tail() int {
+	if c.Tail <= 0 {
+		return defaultServeTail
+	}
+	return c.Tail
+}
+
+func (c ServeConfig) pathCap() int {
+	if c.PathCap <= 0 {
+		return defaultServePathCap
+	}
+	return c.PathCap
+}
+
+// ServeRecorder is a long-lived, sharded latency recorder for a batched
+// query engine. All methods are nil-safe; Snapshot may be called
+// concurrently with recording.
+type ServeRecorder struct {
+	cfg ServeConfig
+
+	mu      sync.Mutex // guards strand-slice growth only
+	strands []*ServeStrand
+
+	seq atomic.Uint64 // global sample sequence (tail-sample recency)
+}
+
+// NewServeRecorder returns a recorder with the given strand count
+// (grown on demand by Ensure/Strand).
+func NewServeRecorder(cfg ServeConfig, strands int) *ServeRecorder {
+	r := &ServeRecorder{cfg: cfg}
+	r.Ensure(strands)
+	return r
+}
+
+// Config returns the recorder's resolved configuration.
+func (r *ServeRecorder) Config() ServeConfig { return r.cfg }
+
+// SampleEvery returns the sampling period (1 = every query).
+func (r *ServeRecorder) SampleEvery() int64 {
+	if r == nil {
+		return 0
+	}
+	return int64(1) << r.cfg.shift()
+}
+
+// Ensure grows the recorder to at least n strands. Safe to call
+// concurrently with recording on existing strands: the strand objects
+// are stable pointers and the slice is replaced, never resized in place.
+func (r *ServeRecorder) Ensure(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.strands) < n {
+		r.strands = append(r.strands, newServeStrand(r))
+	}
+}
+
+// Strand returns strand i, growing the recorder if needed. Nil-safe: a
+// nil recorder hands out a nil strand whose methods all no-op.
+func (r *ServeRecorder) Strand(i int) *ServeStrand {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	for len(r.strands) <= i {
+		r.strands = append(r.strands, newServeStrand(r))
+	}
+	s := r.strands[i]
+	r.mu.Unlock()
+	return s
+}
+
+// AtomicHist is the race-safe form of the log2 histogram: identical
+// bucket semantics (see histBuckets), every field an atomic, so one
+// writer and any number of Snapshot readers need no lock. Multi-field
+// reads under concurrent writes are individually consistent but not
+// mutually transactional — a telemetry snapshot may be mid-observation
+// by one count, which is the standard Prometheus contract.
+type AtomicHist struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Reset arms an AtomicHist for first use (min must start at MaxInt64 so
+// the CAS floor works; the zero value's min of 0 would stick). Callers
+// construct strands through newServeStrand, which resets every hist, so
+// recording never needs a lazy-init branch.
+func (h *AtomicHist) Reset() { h.min.Store(math.MaxInt64) }
+
+// Observe records one value (negatives clamp to 0, as in histogram).
+// Single-writer: the owning strand is the only recorder; any number of
+// Snapshot readers are safe concurrently.
+func (h *AtomicHist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.min.Load()
+		if v >= m || h.min.CompareAndSwap(m, v) {
+			break
+		}
+	}
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Snapshot returns the histogram in export form.
+func (h *AtomicHist) Snapshot() Hist {
+	var plain histogram
+	plain.min = math.MaxInt64
+	h.mergeInto(&plain)
+	if plain.count == 0 {
+		plain.min = math.MaxInt64 // snapshot() normalizes to 0
+	}
+	return plain.snapshot()
+}
+
+func (h *AtomicHist) mergeInto(dst *histogram) {
+	c := h.count.Load()
+	if c == 0 {
+		return
+	}
+	dst.count += c
+	dst.sum += h.sum.Load()
+	if m := h.min.Load(); m < dst.min {
+		dst.min = m
+	}
+	if m := h.max.Load(); m > dst.max {
+		dst.max = m
+	}
+	for i := range dst.buckets {
+		dst.buckets[i] += h.buckets[i].Load()
+	}
+}
+
+// TailSample is one retained slow query: its phase-split latency, the
+// descent path it took (node ids of the frozen tree, truncated to the
+// recorder's PathCap), and its candidate accounting.
+type TailSample struct {
+	Seq       uint64  `json:"seq"`        // global sample sequence (recency)
+	Strand    int     `json:"strand"`     // strand that served it
+	LatencyNs int64   `json:"latency_ns"` // descent + leaf scan
+	DescentNs int64   `json:"descent_ns"`
+	ScanNs    int64   `json:"scan_ns"`
+	Nodes     int     `json:"nodes_visited"` // root-to-leaf node count
+	Scanned   int     `json:"leaf_scanned"`  // leaf candidates tested
+	Reported  int     `json:"reported"`      // balls reported
+	Path      []int32 `json:"path,omitempty"`
+}
+
+// ServeStrand is one batch strand's recording buffer. Methods are
+// nil-safe no-ops; a strand's record path must only be driven by one
+// goroutine at a time (the batch engine's strand discipline), while
+// Snapshot may read concurrently.
+type ServeStrand struct {
+	rec *ServeRecorder
+
+	queries atomic.Int64 // all queries seen (sampled or not)
+	sampled atomic.Int64
+
+	descent AtomicHist // sampled descent wall time (ns)
+	scan    AtomicHist // sampled leaf-scan wall time (ns)
+	total   AtomicHist // sampled descent+scan (ns)
+	nodes   AtomicHist // nodes visited per sampled query
+	cands   AtomicHist // leaf candidates scanned per sampled query
+
+	ring    []atomic.Int64 // rolling window of sampled total latencies
+	ringPos atomic.Int64   // monotonically increasing write cursor
+
+	tailMin atomic.Int64 // admission threshold: smallest retained latency
+	tailMu  sync.Mutex   // guards tail contents (rare inserts + snapshots)
+	tail    []TailSample // ≤ cfg.tail() entries, each with pre-allocated Path
+
+	tick uint64 // strand-local sample clock (never read by Snapshot)
+	mask uint64
+
+	_ [64]byte // keep hot strands off each other's cache lines
+}
+
+func newServeStrand(r *ServeRecorder) *ServeStrand {
+	s := &ServeStrand{
+		rec:  r,
+		ring: make([]atomic.Int64, r.cfg.window()),
+		tail: make([]TailSample, 0, r.cfg.tail()),
+		mask: 1<<r.cfg.shift() - 1,
+	}
+	for _, h := range []*AtomicHist{&s.descent, &s.scan, &s.total, &s.nodes, &s.cands} {
+		h.Reset()
+	}
+	return s
+}
+
+// NoteQueries adds n to the strand's served-query count; the batch
+// engine calls it once per claimed chunk so the untimed majority of
+// queries cost no atomics at all.
+func (s *ServeStrand) NoteQueries(n int64) {
+	if s == nil {
+		return
+	}
+	s.queries.Add(n)
+}
+
+// ShouldSample advances the strand's sample clock and reports whether
+// the next query should take the timed phase-split path. Deterministic:
+// 1 in 2^SampleShift ticks, no RNG, no clock read.
+func (s *ServeStrand) ShouldSample() bool {
+	if s == nil {
+		return false
+	}
+	s.tick++
+	return s.tick&s.mask == 0
+}
+
+// Record stores one sampled query: phase-split wall times, traversal
+// shape, and — when the query is slow enough to beat the tail admission
+// threshold — a tail sample with its descent path. path is copied (up to
+// PathCap nodes); the caller keeps ownership.
+func (s *ServeStrand) Record(descNs, scanNs int64, nodes, scanned, reported int, path []int32) {
+	if s == nil {
+		return
+	}
+	total := descNs + scanNs
+	s.sampled.Add(1)
+	s.descent.Observe(descNs)
+	s.scan.Observe(scanNs)
+	s.total.Observe(total)
+	s.nodes.Observe(int64(nodes))
+	s.cands.Observe(int64(scanned))
+	pos := s.ringPos.Add(1) - 1
+	s.ring[pos%int64(len(s.ring))].Store(total)
+
+	// Tail admission: one atomic load on the common (fast-query) path.
+	// tailMin is 0 until the tail fills, so early samples always enter.
+	if total <= s.tailMin.Load() {
+		return
+	}
+	s.recordTail(TailSample{
+		Seq:       s.rec.seq.Add(1),
+		LatencyNs: total,
+		DescentNs: descNs,
+		ScanNs:    scanNs,
+		Nodes:     nodes,
+		Scanned:   scanned,
+		Reported:  reported,
+	}, path)
+}
+
+func (s *ServeStrand) recordTail(ts TailSample, path []int32) {
+	tcap := s.rec.cfg.tail()
+	pathCap := s.rec.cfg.pathCap()
+	s.tailMu.Lock()
+	defer s.tailMu.Unlock()
+	slot := -1
+	if len(s.tail) < tcap {
+		// Growing phase: append a fresh sample with its own path buffer
+		// (the only allocations the tail ever performs).
+		s.tail = append(s.tail, TailSample{Path: make([]int32, 0, pathCap)})
+		slot = len(s.tail) - 1
+	} else {
+		// Steady state: displace the fastest retained sample in place.
+		min := int64(math.MaxInt64)
+		for i := range s.tail {
+			if s.tail[i].LatencyNs < min {
+				min, slot = s.tail[i].LatencyNs, i
+			}
+		}
+		if ts.LatencyNs <= min {
+			return // raced past the threshold; no longer qualifies
+		}
+	}
+	buf := s.tail[slot].Path[:0]
+	if len(path) > pathCap {
+		path = path[:pathCap]
+	}
+	ts.Path = append(buf, path...)
+	s.tail[slot] = ts
+	if len(s.tail) == tcap {
+		min := int64(math.MaxInt64)
+		for i := range s.tail {
+			if s.tail[i].LatencyNs < min {
+				min = s.tail[i].LatencyNs
+			}
+		}
+		s.tailMin.Store(min)
+	}
+}
+
+// ServeQuantiles is a rolling-window latency summary: nearest-rank
+// quantiles over the merged per-strand windows of sampled total
+// latencies.
+type ServeQuantiles struct {
+	Window int   `json:"window"` // entries the quantiles were computed over
+	P50    int64 `json:"p50_ns"`
+	P95    int64 `json:"p95_ns"`
+	P99    int64 `json:"p99_ns"`
+	P999   int64 `json:"p999_ns"`
+}
+
+// ServeSnapshot is a point-in-time, JSON-ready view of a ServeRecorder:
+// exact served counts, sampled phase-split histograms, rolling-window
+// quantiles, and the retained slowest queries. Histograms and quantiles
+// merge commutatively across strands, so a snapshot of an N-strand
+// recorder fed a query stream equals a single-strand recorder fed the
+// same stream (asserted by TestServeMergeMatchesSingleStrand).
+type ServeSnapshot struct {
+	Strands     int   `json:"strands"`
+	Queries     int64 `json:"queries"`
+	Sampled     int64 `json:"sampled"`
+	SampleEvery int64 `json:"sample_every"`
+
+	Latency Hist `json:"latency_ns"`   // sampled descent+scan
+	Descent Hist `json:"descent_ns"`   // sampled descent phase
+	Scan    Hist `json:"leaf_scan_ns"` // sampled leaf-scan phase
+	Nodes   Hist `json:"nodes_visited"`
+	Scanned Hist `json:"leaf_scanned"`
+
+	Window ServeQuantiles `json:"window"`
+	Tail   []TailSample   `json:"tail,omitempty"`
+}
+
+// Snapshot merges every strand. Safe to call while strands record; the
+// result is a consistent-enough telemetry view (each field internally
+// exact, cross-field skew bounded by in-flight observations). Nil-safe.
+func (r *ServeRecorder) Snapshot() *ServeSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	strands := append([]*ServeStrand(nil), r.strands...)
+	r.mu.Unlock()
+
+	snap := &ServeSnapshot{Strands: len(strands), SampleEvery: r.SampleEvery()}
+	var lat, desc, scan, nodes, cands histogram
+	for _, h := range []*histogram{&lat, &desc, &scan, &nodes, &cands} {
+		h.min = math.MaxInt64
+	}
+	var window []int64
+	for si, s := range strands {
+		snap.Queries += s.queries.Load()
+		snap.Sampled += s.sampled.Load()
+		s.total.mergeInto(&lat)
+		s.descent.mergeInto(&desc)
+		s.scan.mergeInto(&scan)
+		s.nodes.mergeInto(&nodes)
+		s.cands.mergeInto(&cands)
+
+		n := s.ringPos.Load()
+		if n > int64(len(s.ring)) {
+			n = int64(len(s.ring))
+		}
+		for i := int64(0); i < n; i++ {
+			window = append(window, s.ring[i].Load())
+		}
+
+		s.tailMu.Lock()
+		for i := range s.tail {
+			ts := s.tail[i]
+			ts.Path = append([]int32(nil), ts.Path...)
+			ts.Strand = si
+			snap.Tail = append(snap.Tail, ts)
+		}
+		s.tailMu.Unlock()
+	}
+	snap.Latency = lat.snapshot()
+	snap.Descent = desc.snapshot()
+	snap.Scan = scan.snapshot()
+	snap.Nodes = nodes.snapshot()
+	snap.Scanned = cands.snapshot()
+	snap.Window = windowQuantiles(window)
+	sort.Slice(snap.Tail, func(i, j int) bool {
+		if snap.Tail[i].LatencyNs != snap.Tail[j].LatencyNs {
+			return snap.Tail[i].LatencyNs > snap.Tail[j].LatencyNs
+		}
+		return snap.Tail[i].Seq < snap.Tail[j].Seq
+	})
+	return snap
+}
+
+// windowQuantiles computes nearest-rank quantiles over the merged window
+// values (order-independent: the merge sorts, so a multi-strand window
+// equals a single-strand window over the same samples).
+func windowQuantiles(vals []int64) ServeQuantiles {
+	q := ServeQuantiles{Window: len(vals)}
+	if len(vals) == 0 {
+		return q
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	rank := func(p float64) int64 {
+		i := int(math.Ceil(p*float64(len(vals)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(vals) {
+			i = len(vals) - 1
+		}
+		return vals[i]
+	}
+	q.P50 = rank(0.50)
+	q.P95 = rank(0.95)
+	q.P99 = rank(0.99)
+	q.P999 = rank(0.999)
+	return q
+}

@@ -82,6 +82,15 @@ func (o *Options) delta(d int) float64 {
 	if o != nil && o.Delta > 0 {
 		return o.Delta
 	}
+	return DefaultDelta(d)
+}
+
+// DefaultDelta is the split-balance target a default-configured search
+// accepts in dimension d: the paper's (d+1)/(d+2) plus a 0.05 slack,
+// clamped to [0.8, 0.95]. Exported so the paper-invariant auditor
+// (internal/obs/audit) checks observed splits against the same number
+// the build actually used.
+func DefaultDelta(d int) float64 {
 	delta := float64(d+1)/float64(d+2) + 0.05
 	if delta < 0.8 {
 		delta = 0.8

@@ -54,7 +54,14 @@ type batchShard struct {
 	queries int64
 	nodes   int64
 	scanned int64
-	_       [64]byte
+	// serve is this strand's slot in the attached telemetry recorder
+	// (nil when no observer is attached — every call through it then
+	// costs one nil check). path is the descent-path scratch the
+	// sampled timed queries reuse; it never shrinks, so steady state
+	// records without allocating.
+	serve *obs.ServeStrand
+	path  []int32
+	_     [64]byte
 }
 
 // batchChunk is how many queries a strand claims per atomic fetch-add:
@@ -89,6 +96,21 @@ func NewBatch(f *Frozen, workers int) *Batch {
 
 // Workers returns the engine's strand count.
 func (b *Batch) Workers() int { return len(b.shards) }
+
+// Observe attaches a serving telemetry recorder: each strand records
+// into its own recorder slot (exact query counts per chunk; phase-split
+// timed samples at the recorder's sampling rate; slowest-query tail with
+// descent paths). A nil recorder detaches. Not safe to call concurrently
+// with Run; results of timed queries are bit-identical to untimed ones.
+func (b *Batch) Observe(r *obs.ServeRecorder) {
+	r.Ensure(len(b.shards))
+	for i := range b.shards {
+		b.shards[i].serve = r.Strand(i) // nil recorder hands out nil strands
+		if b.shards[i].path == nil && r != nil {
+			b.shards[i].path = make([]int32, 0, 64)
+		}
+	}
+}
 
 // Run answers an open-ball covering query for every element of queries
 // (the Tree.Query predicate). Results are read back with Result; they
@@ -169,7 +191,23 @@ func (b *Batch) strand(id int) {
 		for qi := lo; qi < hi; qi++ {
 			before := len(sh.ids)
 			var nodes, scanned int
-			if closed {
+			if sh.serve.ShouldSample() {
+				// Sampled timed path: phase-split clock reads bracket the
+				// descent and the leaf scan separately, and the descent
+				// route is captured for the tail sampler. Identical
+				// answers — DescendPath/ScanLeaf are the two halves the
+				// covering kernels are built from.
+				q := b.queries[qi]
+				t0 := time.Now()
+				leaf, path := f.DescendPath(q, sh.path[:0])
+				t1 := time.Now()
+				sh.ids, scanned = f.ScanLeaf(leaf, q, closed, sh.ids)
+				t2 := time.Now()
+				sh.path = path
+				nodes = len(path)
+				sh.serve.Record(t1.Sub(t0).Nanoseconds(), t2.Sub(t1).Nanoseconds(),
+					nodes, scanned, len(sh.ids)-before, path)
+			} else if closed {
 				sh.ids, nodes, scanned = f.CoveringClosed(b.queries[qi], sh.ids)
 			} else {
 				sh.ids, nodes, scanned = f.Covering(b.queries[qi], sh.ids)
@@ -179,6 +217,7 @@ func (b *Batch) strand(id int) {
 			sh.nodes += int64(nodes)
 			sh.scanned += int64(scanned)
 		}
+		sh.serve.NoteQueries(hi - lo)
 	}
 }
 

@@ -205,6 +205,84 @@ func (f *Frozen) descend(q []float64) (int32, int) {
 	return i, visited + 1
 }
 
+// DescendPath is descend with the route captured: it appends every node
+// id on the root-to-leaf path (leaf included) to path and returns the
+// leaf id. The serving telemetry's sampled queries take this entry
+// point so tail samples can retain the exact descent a slow query took.
+// The branch decisions are the generic kernels', which are bit-identical
+// to the d=2/3 specializations, so a sampled query answers exactly like
+// an unsampled one.
+func (f *Frozen) DescendPath(q []float64, path []int32) (leaf int32, outPath []int32) {
+	switch f.dim {
+	case 2:
+		return f.descendPath2(q, path)
+	case 3:
+		return f.descendPath3(q, path)
+	}
+	dist2, dot := f.dist2, f.dot
+	nstride, dim := f.nstride, f.dim
+	i := int32(0)
+	for f.kind[i] != kindLeaf {
+		path = append(path, i)
+		rec := f.sep[int(i)*nstride : int(i)*nstride+nstride]
+		right := false
+		if f.kind[i] == kindSphere {
+			d2 := dist2(q, rec[:dim])
+			if d2 > rec[dim+2] {
+				right = true
+			} else if d2 >= rec[dim+1] {
+				right = math.Sqrt(d2)-rec[dim] > 0
+			}
+		} else {
+			right = dot(rec[:dim], q)-rec[dim] > 0
+		}
+		if right {
+			i = f.child[i] + 1
+		} else {
+			i = f.child[i]
+		}
+	}
+	return i, append(path, i)
+}
+
+// ScanLeaf scans the leaf's CSR candidate list with the open (or, with
+// closed=true, boundary-inclusive) membership predicate, appending
+// matching ball ids to out in ascending order. It returns the extended
+// slice and the number of candidates scanned. For any q,
+// Covering(q, out) equals descending to the leaf and calling ScanLeaf —
+// the generic Covering paths are built from exactly these two halves.
+func (f *Frozen) ScanLeaf(leaf int32, q []float64, closed bool, out []int) (res []int, leafScanned int) {
+	switch f.dim {
+	case 2:
+		return f.scanLeaf2(leaf, q, closed, out)
+	case 3:
+		return f.scanLeaf3(leaf, q, closed, out)
+	}
+	slot := f.child[leaf]
+	lo, hi := f.leafOff[slot], f.leafOff[slot+1]
+	balls := f.leafBalls[lo:hi]
+	dist2, stride := f.dist2, f.stride
+	ri := int(lo) * stride
+	if closed {
+		for _, j := range balls {
+			rec := f.leafRecs[ri : ri+stride : ri+stride]
+			ri += stride
+			if dist2(q, rec[:stride-1]) <= rec[stride-1]+geom.Eps {
+				out = append(out, int(j))
+			}
+		}
+	} else {
+		for _, j := range balls {
+			rec := f.leafRecs[ri : ri+stride : ri+stride]
+			ri += stride
+			if dist2(q, rec[:stride-1]) < rec[stride-1] {
+				out = append(out, int(j))
+			}
+		}
+	}
+	return out, len(balls)
+}
+
 // Covering appends to out the ids of all balls whose open interior
 // contains q, in ascending order — the frozen equivalent of Tree.Query.
 // It returns the extended slice, the nodes visited, and the number of
@@ -219,19 +297,8 @@ func (f *Frozen) Covering(q []float64, out []int) (res []int, nodesVisited, leaf
 		return f.covering3(q, out, false)
 	}
 	leaf, visited := f.descend(q)
-	slot := f.child[leaf]
-	lo, hi := f.leafOff[slot], f.leafOff[slot+1]
-	balls := f.leafBalls[lo:hi]
-	dist2, stride := f.dist2, f.stride
-	ri := int(lo) * stride
-	for _, j := range balls {
-		rec := f.leafRecs[ri : ri+stride : ri+stride]
-		ri += stride
-		if dist2(q, rec[:stride-1]) < rec[stride-1] {
-			out = append(out, int(j))
-		}
-	}
-	return out, visited, len(balls)
+	out, scanned := f.ScanLeaf(leaf, q, false, out)
+	return out, visited, scanned
 }
 
 // CoveringClosed is Covering with closed-ball membership (boundary
@@ -244,19 +311,8 @@ func (f *Frozen) CoveringClosed(q []float64, out []int) (res []int, nodesVisited
 		return f.covering3(q, out, true)
 	}
 	leaf, visited := f.descend(q)
-	slot := f.child[leaf]
-	lo, hi := f.leafOff[slot], f.leafOff[slot+1]
-	balls := f.leafBalls[lo:hi]
-	dist2, stride := f.dist2, f.stride
-	ri := int(lo) * stride
-	for _, j := range balls {
-		rec := f.leafRecs[ri : ri+stride : ri+stride]
-		ri += stride
-		if dist2(q, rec[:stride-1]) <= rec[stride-1]+geom.Eps {
-			out = append(out, int(j))
-		}
-	}
-	return out, visited, len(balls)
+	out, scanned := f.ScanLeaf(leaf, q, true, out)
+	return out, visited, scanned
 }
 
 // covering2 and covering3 are the d = 2 and d = 3 traversals with the vec
@@ -392,4 +448,141 @@ func (f *Frozen) covering3(q []float64, out []int, closed bool) (res []int, node
 		}
 	}
 	return out, visited, len(balls)
+}
+
+// descendPath2/3 and scanLeaf2/3 are the d = 2 and d = 3 halves of the
+// covering2/covering3 traversals with the route captured — the same
+// floating-point expressions operation for operation, so a sampled
+// (timed) query stays bit-identical to the inlined covering paths. They
+// exist so the telemetry's sampled queries don't regress to the generic
+// kernels' indirect calls at the hot dimensions.
+
+func (f *Frozen) descendPath2(q []float64, path []int32) (leaf int32, outPath []int32) {
+	q0, q1 := q[0], q[1]
+	kind, child, sep := f.kind, f.child, f.sep
+	i := int32(0)
+	for k := kind[i]; k != kindLeaf; k = kind[i] {
+		path = append(path, i)
+		base := int(i) * 5
+		rec := sep[base : base+5 : base+5]
+		right := false
+		if k == kindSphere {
+			d0 := q0 - rec[0]
+			d1 := q1 - rec[1]
+			d2 := d0*d0 + d1*d1
+			if d2 > rec[4] {
+				right = true
+			} else if d2 >= rec[3] {
+				right = math.Sqrt(d2)-rec[2] > 0
+			}
+		} else {
+			s := 0.0
+			s += rec[0] * q0
+			s += rec[1] * q1
+			right = s-rec[2] > 0
+		}
+		if right {
+			i = child[i] + 1
+		} else {
+			i = child[i]
+		}
+	}
+	return i, append(path, i)
+}
+
+func (f *Frozen) descendPath3(q []float64, path []int32) (leaf int32, outPath []int32) {
+	q0, q1, q2 := q[0], q[1], q[2]
+	kind, child, sep := f.kind, f.child, f.sep
+	i := int32(0)
+	for k := kind[i]; k != kindLeaf; k = kind[i] {
+		path = append(path, i)
+		base := int(i) * 6
+		rec := sep[base : base+6 : base+6]
+		right := false
+		if k == kindSphere {
+			d0 := q0 - rec[0]
+			d1 := q1 - rec[1]
+			d2 := q2 - rec[2]
+			dd := (d0*d0 + d1*d1) + d2*d2
+			if dd > rec[5] {
+				right = true
+			} else if dd >= rec[4] {
+				right = math.Sqrt(dd)-rec[3] > 0
+			}
+		} else {
+			s := 0.0
+			s += rec[0] * q0
+			s += rec[1] * q1
+			s += rec[2] * q2
+			right = s-rec[3] > 0
+		}
+		if right {
+			i = child[i] + 1
+		} else {
+			i = child[i]
+		}
+	}
+	return i, append(path, i)
+}
+
+func (f *Frozen) scanLeaf2(leaf int32, q []float64, closed bool, out []int) (res []int, leafScanned int) {
+	q0, q1 := q[0], q[1]
+	slot := f.child[leaf]
+	lo, hi := f.leafOff[slot], f.leafOff[slot+1]
+	balls := f.leafBalls[lo:hi]
+	recs := f.leafRecs[int(lo)*3 : int(hi)*3]
+	if closed {
+		bi := 0
+		for m := 0; m+2 < len(recs); m += 3 {
+			d0 := q0 - recs[m]
+			d1 := q1 - recs[m+1]
+			if d0*d0+d1*d1 <= recs[m+2]+geom.Eps {
+				out = append(out, int(balls[bi]))
+			}
+			bi++
+		}
+	} else {
+		bi := 0
+		for m := 0; m+2 < len(recs); m += 3 {
+			d0 := q0 - recs[m]
+			d1 := q1 - recs[m+1]
+			if d0*d0+d1*d1 < recs[m+2] {
+				out = append(out, int(balls[bi]))
+			}
+			bi++
+		}
+	}
+	return out, len(balls)
+}
+
+func (f *Frozen) scanLeaf3(leaf int32, q []float64, closed bool, out []int) (res []int, leafScanned int) {
+	q0, q1, q2 := q[0], q[1], q[2]
+	slot := f.child[leaf]
+	lo, hi := f.leafOff[slot], f.leafOff[slot+1]
+	balls := f.leafBalls[lo:hi]
+	recs := f.leafRecs[int(lo)*4 : int(hi)*4]
+	if closed {
+		bi := 0
+		for m := 0; m+3 < len(recs); m += 4 {
+			d0 := q0 - recs[m]
+			d1 := q1 - recs[m+1]
+			d2 := q2 - recs[m+2]
+			if (d0*d0+d1*d1)+d2*d2 <= recs[m+3]+geom.Eps {
+				out = append(out, int(balls[bi]))
+			}
+			bi++
+		}
+	} else {
+		bi := 0
+		for m := 0; m+3 < len(recs); m += 4 {
+			d0 := q0 - recs[m]
+			d1 := q1 - recs[m+1]
+			d2 := q2 - recs[m+2]
+			if (d0*d0+d1*d1)+d2*d2 < recs[m+3] {
+				out = append(out, int(balls[bi]))
+			}
+			bi++
+		}
+	}
+	return out, len(balls)
 }

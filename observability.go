@@ -1,0 +1,153 @@
+package sepdc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"sepdc/internal/obs"
+	"sepdc/internal/obs/audit"
+)
+
+// This file is the public face of the serving-grade observability layer:
+// a ServeObserver that a Batcher streams per-query telemetry into, a
+// MetricsHandler exposing everything as Prometheus text + JSON, and the
+// paper-invariant Audit entry point. The build-side story (Options.
+// Observe, Stats.Report, Graph.WriteTrace) is unchanged; this layer
+// covers the serving side the batch engine owns.
+
+// ServeObserverConfig tunes a ServeObserver. The zero value is the
+// serving default: 1 in 16 queries fully timed, 512-sample rolling
+// window, 8 retained tail queries.
+type ServeObserverConfig struct {
+	// SampleEvery times 1 in SampleEvery queries (rounded up to a power
+	// of two; 1 times every query). 0 selects 16. Untimed queries cost
+	// one branch.
+	SampleEvery int
+	// Window is the rolling-window size (in timed samples) behind the
+	// p50/p95/p99/p999 snapshot quantiles. 0 selects 512.
+	Window int
+	// Tail is how many slowest queries to retain with descent path and
+	// candidate counts. 0 selects 8.
+	Tail int
+}
+
+// ServeObserver is a long-lived serving telemetry recorder shared by any
+// number of Batchers (each strand records into its own shard; Snapshot
+// may be called concurrently with serving). Create one per engine you
+// want distinguishable in /metrics.
+type ServeObserver struct {
+	name string
+	rec  *obs.ServeRecorder
+}
+
+// NewServeObserver creates an observer and registers it under name in
+// the /metrics exposition (series sepdc_serve_<name>_*). Names repeat at
+// the caller's peril: re-registering replaces the previous observer's
+// exposition slot.
+func NewServeObserver(name string, cfg ServeObserverConfig) *ServeObserver {
+	shift := uint(0)
+	every := false
+	switch {
+	case cfg.SampleEvery == 1:
+		every = true
+	case cfg.SampleEvery > 1:
+		for 1<<shift < cfg.SampleEvery {
+			shift++
+		}
+	}
+	rec := obs.NewServeRecorder(obs.ServeConfig{
+		SampleShift: shift,
+		Every:       every,
+		Window:      cfg.Window,
+		Tail:        cfg.Tail,
+	}, 0)
+	obs.RegisterServe(name, rec)
+	return &ServeObserver{name: name, rec: rec}
+}
+
+// Name returns the observer's registered exposition name.
+func (o *ServeObserver) Name() string { return o.name }
+
+// Snapshot returns the observer's current telemetry: exact served
+// counts, phase-split latency/shape histograms over the timed samples,
+// rolling-window quantiles, and the retained slowest queries. Safe to
+// call while Batchers serve. The result marshals directly to JSON (the
+// same document /statsz serves).
+func (o *ServeObserver) Snapshot() *obs.ServeSnapshot {
+	if o == nil {
+		return nil
+	}
+	return o.rec.Snapshot()
+}
+
+// Close unregisters the observer from /metrics. Attached Batchers keep
+// recording into it harmlessly; detach them with Observe(nil) first if
+// the recorder should stop accumulating.
+func (o *ServeObserver) Close() {
+	if o != nil {
+		obs.RegisterServe(o.name, nil)
+	}
+}
+
+// Observe attaches (or with nil detaches) a serving telemetry observer.
+// Per-query overhead: one branch when a query is not sampled, three
+// monotonic clock reads when it is; answers are bit-identical either
+// way, and the zero-allocation steady state is preserved. Not safe to
+// call concurrently with Run.
+func (bt *Batcher) Observe(o *ServeObserver) {
+	if o == nil {
+		bt.b.Observe(nil)
+		return
+	}
+	bt.b.Observe(o.rec)
+}
+
+// MetricsHandler returns the observability endpoints:
+//
+//	/metrics — Prometheus text exposition (format 0.0.4): process-wide
+//	           sepdc counters, worker-pool gauges, every registered
+//	           ServeObserver's histograms and window quantiles, and the
+//	           paper-invariant audit gauges.
+//	/statsz  — the same telemetry as JSON, including tail samples with
+//	           their descent paths.
+//
+// Mount it wherever the host process serves debug HTTP; cmd/knn mounts
+// it on -debug-addr.
+func MetricsHandler() http.Handler { return obs.Handler() }
+
+// AuditConfig tunes the paper-invariant audit; see the fields of
+// audit.Config for the bound constants. The zero value audits against
+// the repo's default empirical ceilings.
+type AuditConfig = audit.Config
+
+// AuditReport is the outcome of QueryStructure.Audit: one Check per
+// invariant (Theorem 2.1 ι(S) and δ-split, the Punting-Lemma depth and
+// punt rate, Lemma 6.1 space, Theorem 3.1 probe costs), each scored
+// observed/bound with a pass verdict. Publish exports it as /metrics
+// gauges; WriteTable renders the cmd/knn -audit table.
+type AuditReport = audit.Report
+
+// Audit re-measures the paper's invariants on the built structure:
+// it re-walks the separator tree re-deriving every node's subset from
+// scratch (same classification the build used), and probes the frozen
+// serving engine with the given queries to sample Theorem 3.1's cost
+// bound. Probe queries must match the structure's dimension; pass nil to
+// skip the query-cost checks.
+func (qs *QueryStructure) Audit(probes [][]float64, cfg AuditConfig) (*AuditReport, error) {
+	for i, q := range probes {
+		if err := qs.validateQuery(q); err != nil {
+			return nil, fmt.Errorf("probe %d: %w", i, err)
+		}
+	}
+	if cfg.K == 0 {
+		cfg.K = qs.k
+	}
+	return audit.Audit(qs.tree, qs.frozen, probes, cfg)
+}
+
+// Snapshot returns the build statistics as machine-readable JSON —
+// the counterpart of the human-oriented Report.WriteText rendering.
+func (s *Stats) Snapshot() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -29,6 +29,7 @@ type QueryStructure struct {
 	tree   *septree.Tree
 	frozen *septree.Frozen
 	dim    int
+	k      int
 
 	mu    sync.Mutex // guards batch (the lazily built shared engine)
 	batch *septree.Batch
@@ -91,7 +92,7 @@ func NewQueryStructureContext(ctx context.Context, points [][]float64, k int, se
 	if err != nil {
 		return nil, err
 	}
-	return &QueryStructure{tree: tree, frozen: frozen, dim: ps.Dim}, nil
+	return &QueryStructure{tree: tree, frozen: frozen, dim: ps.Dim, k: k}, nil
 }
 
 // validateQuery rejects dimension-mismatched or non-finite query

@@ -156,6 +156,79 @@ func TestBatcherZeroAllocSteadyState(t *testing.T) {
 		if avg := testing.AllocsPerRun(50, func() { bt.Run(queries) }); avg != 0 {
 			t.Fatalf("workers=%d: %v allocs per steady-state Run, want 0", workers, avg)
 		}
+		// The zero-alloc contract must survive an attached observer: the
+		// sampled timed path records into preallocated shards.
+		obsv := NewServeObserver(fmt.Sprintf("alloc-test-%d", workers), ServeObserverConfig{SampleEvery: 4})
+		defer obsv.Close()
+		bt.Observe(obsv)
+		for warm := 0; warm < 3; warm++ {
+			if err := bt.Run(queries); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if avg := testing.AllocsPerRun(50, func() { bt.Run(queries) }); avg != 0 {
+			t.Fatalf("workers=%d: %v allocs per instrumented steady-state Run, want 0", workers, avg)
+		}
+	}
+}
+
+// TestBatcherObserverGoldenIdentity: an observer timing every query must
+// not change a single answer relative to an unobserved Batcher.
+func TestBatcherObserverGoldenIdentity(t *testing.T) {
+	points := genPoints(1000, 3, 27)
+	qs, err := NewQueryStructure(points, 3, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := queryPoints(points, 300, 29)
+	plain := qs.NewBatcher(2)
+	observed := qs.NewBatcher(2)
+	obsv := NewServeObserver("golden-test", ServeObserverConfig{SampleEvery: 1, Tail: 4})
+	defer obsv.Close()
+	observed.Observe(obsv)
+	if err := plain.Run(queries); err != nil {
+		t.Fatal(err)
+	}
+	if err := observed.Run(queries); err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if !sameInts(plain.Result(i), observed.Result(i)) {
+			t.Fatalf("query %d: observed %v != plain %v", i, observed.Result(i), plain.Result(i))
+		}
+	}
+	snap := obsv.Snapshot()
+	if snap.Queries != int64(len(queries)) || snap.Sampled != snap.Queries {
+		t.Fatalf("snapshot counts = %d/%d, want %d timed queries", snap.Sampled, snap.Queries, len(queries))
+	}
+	if snap.Window.P50 <= 0 || snap.Window.P999 < snap.Window.P50 {
+		t.Fatalf("window quantiles implausible: %+v", snap.Window)
+	}
+	if len(snap.Tail) == 0 {
+		t.Fatal("no tail samples")
+	}
+}
+
+// TestQueryStructureAudit: the public audit entry point must pass on a
+// well-formed structure and validate its probes.
+func TestQueryStructureAudit(t *testing.T) {
+	points := genPoints(2000, 2, 31)
+	qs, err := NewQueryStructure(points, 4, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := qs.Audit(queryPoints(points, 200, 33), AuditConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("audit failed on uniform points: %+v", rep.Checks)
+	}
+	if rep.K != 4 || rep.N != len(points) || rep.D != 2 {
+		t.Fatalf("report identity = n=%d d=%d k=%d", rep.N, rep.D, rep.K)
+	}
+	if _, err := qs.Audit([][]float64{{1.0}}, AuditConfig{}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("bad probe accepted: %v", err)
 	}
 }
 

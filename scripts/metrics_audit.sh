@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Scrape gate for the serving telemetry: run cmd/knn -audit with the
+# debug server up, scrape /metrics while the process holds, lint the
+# Prometheus exposition, and assert the paper-invariant gauges are in
+# bounds. Exits nonzero if the audit fails, the exposition is
+# malformed, or any gauge assertion is violated.
+set -euo pipefail
+
+ADDR="${ADDR:-127.0.0.1:18417}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"; kill "$KNN_PID" 2>/dev/null || true' EXIT
+
+go build -o "$OUT/knn" ./cmd/knn
+go build -o "$OUT/promlint" ./cmd/promlint
+
+"$OUT/knn" -n 4000 -d 2 -k 4 -audit -debug-addr "$ADDR" -debug-hold 30s \
+  >"$OUT/audit.log" 2>&1 &
+KNN_PID=$!
+
+# Wait for the audit tables to finish and the debug server to come up.
+scraped=""
+for _ in $(seq 1 60); do
+  if grep -q "holding for" "$OUT/audit.log" 2>/dev/null &&
+     curl -fsS "http://$ADDR/metrics" -o "$OUT/metrics.txt" 2>/dev/null; then
+    scraped=yes
+    break
+  fi
+  if ! kill -0 "$KNN_PID" 2>/dev/null; then
+    echo "metrics-audit: knn exited before scrape" >&2
+    cat "$OUT/audit.log" >&2
+    exit 1
+  fi
+  sleep 1
+done
+if [ -z "$scraped" ]; then
+  echo "metrics-audit: never scraped $ADDR/metrics" >&2
+  cat "$OUT/audit.log" >&2
+  exit 1
+fi
+
+cat "$OUT/audit.log"
+
+# The exposition must parse, and every audit gauge must be in bounds:
+# overall pass == 1 and every observed/bound ratio in (0, 1].
+"$OUT/promlint" \
+  -gauge 'sepdc_audit_pass:1:1' \
+  -gauge 'sepdc_audit_iota_ratio:0:1' \
+  -gauge 'sepdc_audit_split_balance_ratio:0:1' \
+  -gauge 'sepdc_audit_depth_ratio:0:1' \
+  -gauge 'sepdc_audit_punt_rate_ratio:0:1' \
+  -gauge 'sepdc_audit_space_ratio:0:1' \
+  -gauge 'sepdc_audit_query_nodes_ratio:0:1' \
+  -gauge 'sepdc_audit_query_cands_ratio:0:1' \
+  "$OUT/metrics.txt"
+
+# The serving telemetry of the audit's own probe traffic must be there.
+"$OUT/promlint" -q -gauge 'sepdc_serve_audit_queries_total:1:1e18' "$OUT/metrics.txt"
+
+kill "$KNN_PID" 2>/dev/null || true
+echo "metrics-audit: ok"
