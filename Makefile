@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 60s
 
-.PHONY: build vet test test-race race-batch metrics-audit bench bench-json bench-query verify fuzz chaos clean
+.PHONY: build vet test test-race race-batch metrics-audit bench bench-json bench-query bench-kernel verify fuzz chaos clean
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,14 @@ bench-json:
 # available (informational smoke, not a gate).
 bench-query:
 	$(GO) test -run '^$$' -bench 'CoveringBalls|NeighborsBatch' -benchmem .
+
+# Distance-kernel benchmarks: the d=2..8 dispatch table (unrolled
+# single-pair and four-point forms) against the generic fallback. CI
+# runs these at -benchtime=1x and diffs against
+# testdata/bench-kernel-baseline.txt with benchstat when available
+# (informational smoke, not a gate).
+bench-kernel:
+	$(GO) test -run '^$$' -bench 'Dist2Kernel|Dist2Generic|Dist2Batch4|DotKernel' -benchmem ./internal/vec/
 
 # Focused race gate over the batched query-serving paths and the
 # serving telemetry they feed (concurrent Snapshot during recording).

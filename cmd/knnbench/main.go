@@ -62,10 +62,12 @@ type Report struct {
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Env        Env           `json:"env"`
 	Note       string        `json:"note"`
-	Baseline   []Result      `json:"baseline"`
-	Results    []Result      `json:"results"`
-	Query      []QueryResult `json:"query,omitempty"`
-	Obs        []ObsOverhead `json:"obs_overhead,omitempty"`
+	Baseline   []Result       `json:"baseline"`
+	Results    []Result       `json:"results"`
+	Query      []QueryResult  `json:"query,omitempty"`
+	Obs        []ObsOverhead  `json:"obs_overhead,omitempty"`
+	Kernels    []KernelResult `json:"kernels,omitempty"`
+	Layout     []LayoutResult `json:"layout,omitempty"`
 }
 
 // captureEnv gathers the environment header: toolchain, CPU shape, the CPU
@@ -192,9 +194,15 @@ func main() {
 	queries := flag.Int("queries", 4096, "queries per serving-benchmark pass (0 disables the query section)")
 	queryIters := flag.Int("query-iters", 20, "measured passes per query-serving cell")
 	procsFlag := flag.String("procs", "", "comma-separated GOMAXPROCS sweep for the build grid and batch strands (default \"1,4,NumCPU\" deduplicated)")
+	dimsFlag := flag.String("dims", "", "comma-separated dimension sweep for the kernels/layout sections (default \"2,3,4,5,6,7,8\"; empty string keeps the default, \"0\" disables the sections)")
 	flag.Parse()
 
 	procs, err := parseProcs(*procsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "knnbench:", err)
+		os.Exit(1)
+	}
+	dims, err := parseDims(*dimsFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "knnbench:", err)
 		os.Exit(1)
@@ -216,7 +224,16 @@ func main() {
 			"shared hosts and immune to multi-second skew, same work per pass in every mode); " +
 			"obs_overhead = the same interleaved-minimum protocol comparing a nil-observer " +
 			"batch engine against one feeding a ServeRecorder at the production sampling " +
-			"default, on the largest query cells (acceptance budget: <=5% throughput, 0 allocs)",
+			"default, on the largest query cells (acceptance budget: <=5% throughput, 0 allocs); " +
+			"kernels = per-dimension distance-kernel micro-bench (generic fallback vs unrolled vs " +
+			"four-point, interleaved minimum over identical operand streams); layout = whole-path " +
+			"serving per dimension over a correlated query stream (runs of 8 jittered queries per " +
+			"anchor — the shape the correction's QueryBatchClosed and clustered external traffic " +
+			"produce), ref (breadth-first layout + generic kernels + per-query scans and descents, " +
+			"the PR-5 configuration) vs opt (pair-blocked layout + specialized kernels/descents + " +
+			"query-blocked scans at block_width, 1 at d<=3 where the inline whole-path scans already " +
+			"win), answers cross-checked identical before timing, phase means from " +
+			"non-timed instrumented passes",
 	}
 	rep.Baseline = baseline
 	for _, c := range grid {
@@ -244,6 +261,15 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Obs = or
+	}
+	if len(dims) > 0 {
+		rep.Kernels = runKernelBench(dims)
+		lr, err := runLayoutBench(dims, 2048, 25)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "knnbench: layout bench:", err)
+			os.Exit(1)
+		}
+		rep.Layout = lr
 	}
 	enc, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

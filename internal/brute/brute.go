@@ -43,12 +43,29 @@ func AllKNNFlat(ps *pts.PointSet, k int) []*topk.List {
 	n := ps.N()
 	lists := topk.NewArena(n, k).Lists()
 	// The all-pairs loop is the library's purest distance workload; the
-	// d-specialized kernel is resolved once for the n²/2 pairs
-	// (bit-identical to ps.Dist2).
+	// d-specialized kernels are resolved once for the n²/2 pairs
+	// (bit-identical to ps.Dist2). The inner loop runs four j's per
+	// four-point kernel call — one load of pi's coordinates amortized
+	// over four candidate rows, which in flat storage are consecutive —
+	// with Insert offers in the same (i,j) order as the scalar loop, so
+	// list contents are unchanged.
 	dist2 := vec.Dist2Kernel(ps.Dim)
+	batch4 := vec.Dist2Batch4Kernel(ps.Dim)
 	for i := 0; i < n; i++ {
 		pi := ps.At(i)
-		for j := i + 1; j < n; j++ {
+		j := i + 1
+		for ; j+4 <= n; j += 4 {
+			da, db, dc, dd := batch4(pi, ps.At(j), ps.At(j+1), ps.At(j+2), ps.At(j+3))
+			lists[i].Insert(j, da)
+			lists[j].Insert(i, da)
+			lists[i].Insert(j+1, db)
+			lists[j+1].Insert(i, db)
+			lists[i].Insert(j+2, dc)
+			lists[j+2].Insert(i, dc)
+			lists[i].Insert(j+3, dd)
+			lists[j+3].Insert(i, dd)
+		}
+		for ; j < n; j++ {
 			d2 := dist2(pi, ps.At(j))
 			lists[i].Insert(j, d2)
 			lists[j].Insert(i, d2)
@@ -86,11 +103,27 @@ func AllKNNSubset(pv []vec.Vec, idx []int, k int) []*topk.List {
 // the resulting list contents are identical.
 func AllKNNSubsetInto(ps *pts.PointSet, idx []int, lists []*topk.List) {
 	dist2 := vec.Dist2Kernel(ps.Dim)
+	batch4 := vec.Dist2Batch4Kernel(ps.Dim)
 	for a := 0; a < len(idx); a++ {
 		pa := ps.At(idx[a])
-		for b := a + 1; b < len(idx); b++ {
+		la := lists[idx[a]]
+		b := a + 1
+		// Four subset rows per kernel call, offered in scalar pair order.
+		for ; b+4 <= len(idx); b += 4 {
+			j0, j1, j2, j3 := idx[b], idx[b+1], idx[b+2], idx[b+3]
+			da, db, dc, dd := batch4(pa, ps.At(j0), ps.At(j1), ps.At(j2), ps.At(j3))
+			la.Insert(j0, da)
+			lists[j0].Insert(idx[a], da)
+			la.Insert(j1, db)
+			lists[j1].Insert(idx[a], db)
+			la.Insert(j2, dc)
+			lists[j2].Insert(idx[a], dc)
+			la.Insert(j3, dd)
+			lists[j3].Insert(idx[a], dd)
+		}
+		for ; b < len(idx); b++ {
 			d2 := dist2(pa, ps.At(idx[b]))
-			lists[idx[a]].Insert(idx[b], d2)
+			la.Insert(idx[b], d2)
 			lists[idx[b]].Insert(idx[a], d2)
 		}
 	}

@@ -135,13 +135,29 @@ func queryCorrect(ps *pts.PointSet, lists []*topk.List, cross []int, otherPts []
 		}
 	}
 	// Unbounded balls: direct scan. Each such point needs every other-side
-	// point as a candidate. All of queryCorrect's candidate loops share one
-	// d-specialized kernel (bit-identical to ps.Dist2).
+	// point as a candidate. All of queryCorrect's candidate loops share the
+	// d-specialized kernels (bit-identical to ps.Dist2); the direct scans
+	// run four candidates per four-point kernel call.
 	dist2 := vec.Dist2Kernel(ps.Dim)
-	for _, i := range unbounded {
-		for _, j := range otherPts {
-			lists[i].Insert(j, dist2(ps.At(i), ps.At(j)))
+	batch4 := vec.Dist2Batch4Kernel(ps.Dim)
+	directScan := func(i int) {
+		pi := ps.At(i)
+		l := lists[i]
+		k := 0
+		for ; k+4 <= len(otherPts); k += 4 {
+			j0, j1, j2, j3 := otherPts[k], otherPts[k+1], otherPts[k+2], otherPts[k+3]
+			da, db, dc, dd := batch4(pi, ps.At(j0), ps.At(j1), ps.At(j2), ps.At(j3))
+			l.Insert(j0, da)
+			l.Insert(j1, db)
+			l.Insert(j2, dc)
+			l.Insert(j3, dd)
 		}
+		for ; k < len(otherPts); k++ {
+			l.Insert(otherPts[k], dist2(pi, ps.At(otherPts[k])))
+		}
+	}
+	for _, i := range unbounded {
+		directScan(i)
 	}
 	if len(unbounded) > 0 {
 		ctx.PrimK(len(unbounded), len(otherPts))
@@ -174,9 +190,7 @@ func queryCorrect(ps *pts.PointSet, lists []*topk.List, cross []int, otherPts []
 		// Degenerate system (e.g. all centers identical): fall back to the
 		// direct scan, still exact.
 		for _, i := range finite {
-			for _, j := range otherPts {
-				lists[i].Insert(j, dist2(ps.At(i), ps.At(j)))
-			}
+			directScan(i)
 		}
 		ctx.PrimK(len(finite), len(otherPts))
 		tl.add(func(s *Stats) {

@@ -170,9 +170,11 @@ func DownFlatChaos(root *PNode, ps *pts.PointSet, balls []Ball, activeLimit int,
 		frontier = append(frontier, item{node: root, ball: i})
 	}
 	// The leaf scan is the march's densest distance loop; resolve the
-	// d-specialized kernel once for the whole march (bit-identical to
-	// ps.Dist2To).
+	// d-specialized kernels once for the whole march (bit-identical to
+	// ps.Dist2To). The four-point form amortizes the ball-center load over
+	// four leaf points per call.
 	dist2 := vec.Dist2Kernel(ps.Dim)
+	batch4 := vec.Dist2Batch4Kernel(ps.Dim)
 	var hits []Hit
 	leafWork := 0
 	defer func() {
@@ -204,7 +206,28 @@ func DownFlatChaos(root *PNode, ps *pts.PointSet, balls []Ball, activeLimit int,
 			if n.IsLeaf() {
 				leafWork += len(n.Pts)
 				r2 := b.Radius2
-				for _, p := range n.Pts {
+				// Four leaf points per kernel call; lane results are
+				// tested in point order, so hits appear exactly as the
+				// scalar loop emits them.
+				k := 0
+				for ; k+4 <= len(n.Pts); k += 4 {
+					p0, p1, p2, p3 := n.Pts[k], n.Pts[k+1], n.Pts[k+2], n.Pts[k+3]
+					da, db, dc, dd := batch4(b.Center, ps.At(p0), ps.At(p1), ps.At(p2), ps.At(p3))
+					if da <= r2 {
+						hits = append(hits, Hit{BallID: b.ID, Point: p0})
+					}
+					if db <= r2 {
+						hits = append(hits, Hit{BallID: b.ID, Point: p1})
+					}
+					if dc <= r2 {
+						hits = append(hits, Hit{BallID: b.ID, Point: p2})
+					}
+					if dd <= r2 {
+						hits = append(hits, Hit{BallID: b.ID, Point: p3})
+					}
+				}
+				for ; k < len(n.Pts); k++ {
+					p := n.Pts[k]
 					if dist2(ps.At(p), b.Center) <= r2 {
 						hits = append(hits, Hit{BallID: b.ID, Point: p})
 					}

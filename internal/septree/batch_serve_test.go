@@ -129,10 +129,21 @@ func TestObservedBatchZeroAllocSteadyState(t *testing.T) {
 }
 
 // TestDescendPathMatchesCovering: DescendPath+ScanLeaf is the exact
-// decomposition of Covering, for every dimension's kernel.
+// decomposition of Covering, for every dimension's kernel — the d=4..8
+// inline descents against Covering's indirect-call loop, and d=1 for
+// the generic fallback both sides share.
 func TestDescendPathMatchesCovering(t *testing.T) {
-	for _, d := range []int{1, 2, 3, 4} {
-		tree, pts := buildUniform(t, 900, d, 2, 3, nil)
+	// Point counts grow with d just enough to clear the default leaf
+	// size (which doubles per dimension above 3), so every dimension's
+	// tree has real internal nodes for the descent loops to walk, while
+	// crossing-ball duplication stays small.
+	sizes := map[int]int{7: 1200, 8: 2500}
+	for _, d := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+		n := 900
+		if s, ok := sizes[d]; ok {
+			n = s
+		}
+		tree, pts := buildUniform(t, n, d, 2, 3, nil)
 		f, err := Freeze(tree)
 		if err != nil {
 			t.Fatal(err)

@@ -105,3 +105,47 @@ func TestHouseholderNearlyEqualVectors(t *testing.T) {
 		t.Errorf("near-identity reflection broke norm: %v", got)
 	}
 }
+
+// TestHouseholderNearCoincidentHighDim is the regression for the old
+// dimension-independent n2 < 1e-30 degeneracy cutoff: at d = 8, unit
+// vectors separated by |from−to|² ≈ 6.4e-31 carry genuine direction
+// information (the d·ε² rounding floor is ≈ 3.9e-31), yet the fixed
+// cutoff classified them as coincident and returned the identity,
+// leaving a residual |H(from)−to| ≈ 8e-16 — an order of magnitude above
+// what the reflection achieves.
+func TestHouseholderNearCoincidentHighDim(t *testing.T) {
+	const d = 8
+	// Exact mirror images across the e0 hyperplane: both vectors have
+	// identical coordinates except the sign of the first, so their norms
+	// are exactly equal (a reflection can only map between equal-norm
+	// vectors — at separations this small, even one ulp of norm mismatch
+	// would dominate the residual). δ is chosen so |from−to|² = 4δ² lands
+	// between the d=8 rounding floor (d·ε² ≈ 3.9e-31) and the old fixed
+	// cutoff (1e-30).
+	const delta = 4e-16
+	from := make(Vec, d)
+	for i := 1; i < d; i++ {
+		from[i] = 1 / math.Sqrt(d-1)
+	}
+	to := from.Clone()
+	from[0], to[0] = delta, -delta
+	n2 := Dist2(from, to)
+	if n2 <= d*0x1p-104 || n2 >= 1e-30 {
+		t.Fatalf("fixture drifted out of the regression window: |from-to|² = %g", n2)
+	}
+	h := NewHouseholder(from, to)
+	if h.IsIdentity() {
+		t.Fatalf("resolvable |from-to|² = %g at d=%d collapsed to the identity", n2, d)
+	}
+	if got := Dist(h.Apply(from), to); got >= Dist(from, to) || got > 4e-16 {
+		t.Fatalf("reflection residual %g, want < identity residual %g and < 4e-16",
+			got, Dist(from, to))
+	}
+	// Coordinates at one ulp of each other stay on the identity path:
+	// that difference is pure rounding noise at every dimension.
+	same := from.Clone()
+	same[d-1] = math.Nextafter(same[d-1], 2)
+	if !NewHouseholder(from, Normalize(same)).IsIdentity() {
+		t.Fatal("one-ulp perturbation no longer treated as coincident")
+	}
+}
