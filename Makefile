@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 60s
 
-.PHONY: build vet test test-race race-batch metrics-audit bench bench-json bench-query bench-kernel verify fuzz chaos clean
+.PHONY: build vet test test-race race-batch metrics-audit flight-smoke bench bench-json bench-query bench-kernel verify fuzz chaos clean
 
 build:
 	$(GO) build ./...
@@ -43,17 +43,24 @@ bench-kernel:
 	$(GO) test -run '^$$' -bench 'Dist2Kernel|Dist2Generic|Dist2Batch4|DotKernel' -benchmem ./internal/vec/
 
 # Focused race gate over the batched query-serving paths and the
-# serving telemetry they feed (concurrent Snapshot during recording).
-# Also covered by test-race's full-module sweep; kept as its own target
-# so a failure names the subsystem.
+# serving telemetry they feed (concurrent Snapshot during recording,
+# journal publish/drain, SLO evaluation, flight capture). Also covered
+# by test-race's full-module sweep; kept as its own target so a failure
+# names the subsystem.
 race-batch:
-	$(GO) test -race -run 'Batch|Batcher|CoveringBalls|QueryStructure|Serve' . ./internal/septree/ ./internal/obs/
+	$(GO) test -race -run 'Batch|Batcher|CoveringBalls|QueryStructure|Serve|Journal|Flight|Burn|Trip' . ./internal/septree/ ./internal/obs/ ./internal/obs/slo/ ./internal/obs/flight/ ./internal/obs/runtimeobs/
 
 # Scrape gate: serve a live -audit run's /metrics, then lint the
 # exposition and assert the paper-invariant gauges (what CI's
 # metrics-audit job runs).
 metrics-audit:
 	./scripts/metrics_audit.sh
+
+# Flight-recorder smoke: a chaos-stalled -flight run must trip the SLO
+# and capture a complete, -verify-bundle-clean flight bundle (what CI's
+# flight-smoke job runs).
+flight-smoke:
+	./scripts/flight_smoke.sh
 
 # Fuzz smoke: each target gets FUZZTIME (default 60s) of coverage-guided
 # input generation on top of the committed seed corpora in testdata/fuzz.

@@ -26,6 +26,8 @@ import (
 
 	"sepdc"
 	"sepdc/internal/obs"
+	"sepdc/internal/obs/runtimeobs"
+	"sepdc/internal/obs/slo"
 	"sepdc/internal/pointgen"
 	"sepdc/internal/xrand"
 )
@@ -51,23 +53,45 @@ func run() error {
 	trace := flag.String("trace", "", "write Chrome trace_event JSON of the build to file (implies -obs)")
 	rnn := flag.Int("rnn", 0, "after the build, serve this many reverse-nearest-neighbor queries through the batched query structure and print serving stats")
 	audit := flag.Bool("audit", false, "audit the paper's invariants (ι(S), split balance, depth, punt rate, space, query cost) over the uniform-ball, jittered-grid, and clustered generators at -n/-d/-k; exits nonzero on any violation")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /statsz, expvar (/debug/vars) and pprof (/debug/pprof) on this address")
+	flightDir := flag.String("flight", "", "flight-recorder serve loop: serve batched queries at -n/-d/-k with the SLO engine live, capturing diagnostic bundles under this directory when the latency burn rate trips")
+	flightLatency := flag.Duration("flight-latency", 25*time.Millisecond, "per-batch latency SLO objective for -flight")
+	flightBatches := flag.Int("flight-batches", 200, "batches to serve in the -flight loop")
+	verifyBundleDir := flag.String("verify-bundle", "", "validate a captured flight bundle directory and exit")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /statsz, /journal, expvar (/debug/vars) and pprof (/debug/pprof) on this address")
 	debugHold := flag.Duration("debug-hold", 0, "keep the process (and -debug-addr server) alive this long after the build")
 	timeout := flag.Duration("timeout", 0, "abandon the build after this long (0 = no limit)")
 	flag.Parse()
 
+	if *verifyBundleDir != "" {
+		return verifyBundle(*verifyBundleDir)
+	}
+
 	if *debugAddr != "" {
 		obs.EnableGlobal()
 		obs.PublishExpvar()
+		// Runtime telemetry rides along on every scrape: GC pauses,
+		// scheduler latency, heap, mutex wait as sepdc_runtime_* gauges.
+		rt := runtimeobs.New().Start(5 * time.Second)
+		defer rt.Close()
 		mh := sepdc.MetricsHandler()
 		http.Handle("/metrics", mh)
 		http.Handle("/statsz", mh)
+		http.Handle("/journal", mh)
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "knn: debug server:", err)
 			}
 		}()
-		fmt.Printf("debug server: http://%s/metrics, /statsz, /debug/vars, /debug/pprof\n", *debugAddr)
+		fmt.Printf("debug server: http://%s/metrics, /statsz, /journal, /debug/vars, /debug/pprof\n", *debugAddr)
+	}
+
+	if *flightDir != "" {
+		err := runFlight(*flightDir, *n, *d, *k, *seed, *workers, *rnn, *flightBatches, *flightLatency)
+		if *debugHold > 0 {
+			fmt.Printf("holding for %v (debug endpoints stay up)...\n", *debugHold)
+			time.Sleep(*debugHold)
+		}
+		return err
 	}
 
 	if *audit {
@@ -219,7 +243,9 @@ func serveRNN(points [][]float64, k int, seed uint64, n int) error {
 func runAudit(n, d, k int, seed uint64, workers int) error {
 	gens := []pointgen.Dist{pointgen.UniformBall, pointgen.JitteredGrid, pointgen.Clustered}
 	obsv := sepdc.NewServeObserver("audit", sepdc.ServeObserverConfig{SampleEvery: 4})
+	jr := sepdc.NewQueryJournal("audit", sepdc.QueryJournalConfig{})
 	failed := 0
+	var lastBatcher *sepdc.Batcher
 	for _, gen := range gens {
 		pts := pointgen.Dedup(pointgen.MustGenerate(gen, n, d, xrand.New(seed)))
 		points := make([][]float64, len(pts))
@@ -241,6 +267,8 @@ func runAudit(n, d, k int, seed uint64, workers int) error {
 		}
 		bt := qs.NewBatcher(workers)
 		bt.Observe(obsv)
+		bt.Journal(jr)
+		lastBatcher = bt
 		if err := bt.Run(probes); err != nil {
 			return fmt.Errorf("%s: %w", gen, err)
 		}
@@ -257,6 +285,21 @@ func runAudit(n, d, k int, seed uint64, workers int) error {
 		if !rep.Pass {
 			failed++
 		}
+	}
+	// Publish the sepdc_slo_* gauge family over the audit's serving
+	// traffic (one evaluation of a 100ms per-batch latency objective) so
+	// a scrape of the audit run carries the full observability surface —
+	// scripts/metrics_audit.sh lints and asserts these series.
+	if lastBatcher != nil {
+		bst := lastBatcher.Stats()
+		ev, err := slo.New([]slo.Objective{{
+			Name:   "audit_batch_latency",
+			Source: slo.HistSource(func() obs.Hist { return bst.Latency }, (100 * time.Millisecond).Nanoseconds()),
+		}}, nil)
+		if err != nil {
+			return err
+		}
+		ev.Evaluate()
 	}
 	if failed > 0 {
 		return fmt.Errorf("audit: %d of %d generators violated a paper invariant", failed, len(gens))

@@ -87,7 +87,7 @@ func kernelPoints(d, n int) [][]float64 {
 		p := make([]float64, d)
 		for j := range p {
 			state = state*6364136223846793005 + 1442695040888963407
-			p[j] = float64(state>>11) / float64(1 << 53)
+			p[j] = float64(state>>11) / float64(1<<53)
 		}
 		pts[i] = p
 	}

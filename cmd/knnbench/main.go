@@ -57,15 +57,16 @@ type Env struct {
 
 // Report is the whole BENCH_knn.json document.
 type Report struct {
-	Generated  string        `json:"generated"`
-	GoVersion  string        `json:"go_version"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Env        Env           `json:"env"`
-	Note       string        `json:"note"`
+	Generated  string         `json:"generated"`
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Env        Env            `json:"env"`
+	Note       string         `json:"note"`
 	Baseline   []Result       `json:"baseline"`
 	Results    []Result       `json:"results"`
 	Query      []QueryResult  `json:"query,omitempty"`
 	Obs        []ObsOverhead  `json:"obs_overhead,omitempty"`
+	Journal    *JournalBench  `json:"journal,omitempty"`
 	Kernels    []KernelResult `json:"kernels,omitempty"`
 	Layout     []LayoutResult `json:"layout,omitempty"`
 }
@@ -188,6 +189,42 @@ func measure(c cfg, iters, procs int) (Result, error) {
 	return res, nil
 }
 
+// remeasureObs re-runs only the obs_overhead and journal sections and
+// merges them into the existing report at path, preserving every other
+// section verbatim. The section notes record the partial regeneration.
+func remeasureObs(path string, queries, queryIters int) error {
+	if path == "-" {
+		return fmt.Errorf("-only obs needs a real -out file to merge into")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read existing report: %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("parse existing report %s: %w", path, err)
+	}
+	or, err := runObsBench(queries, queryIters)
+	if err != nil {
+		return fmt.Errorf("obs bench: %w", err)
+	}
+	jb, err := runJournalBench(queries, 50)
+	if err != nil {
+		return fmt.Errorf("journal bench: %w", err)
+	}
+	rep.Obs = or
+	rep.Journal = jb
+	rep.Generated = time.Now().UTC().Format(time.RFC3339)
+	if !strings.Contains(rep.Note, "obs_overhead+journal remeasured") {
+		rep.Note += "; obs_overhead+journal remeasured via -only obs (other sections predate it)"
+	}
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}
+
 func main() {
 	out := flag.String("out", "BENCH_knn.json", "output file (- for stdout)")
 	iters := flag.Int("iters", 15, "measured iterations per grid cell")
@@ -195,6 +232,7 @@ func main() {
 	queryIters := flag.Int("query-iters", 20, "measured passes per query-serving cell")
 	procsFlag := flag.String("procs", "", "comma-separated GOMAXPROCS sweep for the build grid and batch strands (default \"1,4,NumCPU\" deduplicated)")
 	dimsFlag := flag.String("dims", "", "comma-separated dimension sweep for the kernels/layout sections (default \"2,3,4,5,6,7,8\"; empty string keeps the default, \"0\" disables the sections)")
+	only := flag.String("only", "", "re-measure only the named section and merge into the existing -out file (\"obs\" = obs_overhead + journal); other sections are preserved verbatim")
 	flag.Parse()
 
 	procs, err := parseProcs(*procsFlag)
@@ -206,6 +244,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "knnbench:", err)
 		os.Exit(1)
+	}
+
+	// Merge mode: re-measure one section against the committed record
+	// without paying for a full-grid regeneration (hours on small hosts).
+	if *only != "" {
+		if *only != "obs" {
+			fmt.Fprintf(os.Stderr, "knnbench: unknown -only section %q (want \"obs\")\n", *only)
+			os.Exit(1)
+		}
+		if err := remeasureObs(*out, *queries, *queryIters); err != nil {
+			fmt.Fprintln(os.Stderr, "knnbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	rep := Report{
@@ -224,7 +276,10 @@ func main() {
 			"shared hosts and immune to multi-second skew, same work per pass in every mode); " +
 			"obs_overhead = the same interleaved-minimum protocol comparing a nil-observer " +
 			"batch engine against one feeding a ServeRecorder at the production sampling " +
-			"default, on the largest query cells (acceptance budget: <=5% throughput, 0 allocs); " +
+			"default and one additionally publishing every query to the wide-event journal, " +
+			"on the largest query cells (acceptance budget: <=5% throughput, 0 allocs); " +
+			"journal = drain throughput with a concurrent consumer and ring-overwrite rate " +
+			"with none, over a deliberately small 1024-event ring; " +
 			"kernels = per-dimension distance-kernel micro-bench (generic fallback vs unrolled vs " +
 			"four-point, interleaved minimum over identical operand streams); layout = whole-path " +
 			"serving per dimension over a correlated query stream (runs of 8 jittered queries per " +
@@ -261,6 +316,12 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Obs = or
+		jb, err := runJournalBench(*queries, 50)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "knnbench: journal bench:", err)
+			os.Exit(1)
+		}
+		rep.Journal = jb
 	}
 	if len(dims) > 0 {
 		rep.Kernels = runKernelBench(dims)

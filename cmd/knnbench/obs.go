@@ -15,26 +15,31 @@ import (
 
 // ObsOverhead is one serving-telemetry overhead measurement: the same
 // batch engine over the same frozen structure and query stream, once
-// with no observer attached and once with a ServeRecorder sampling at
-// the production default (1 in 16 queries fully timed). The acceptance
-// budget for the instrumented path is <= 5% throughput overhead and
-// zero allocations per pass.
+// with no observer attached, once with a ServeRecorder sampling at the
+// production default (1 in 16 queries fully timed), and once with the
+// recorder AND a wide-event journal publishing every query. The
+// acceptance budget for the fully instrumented path is <= 5%
+// throughput overhead and zero allocations per pass.
 type ObsOverhead struct {
-	N             int     `json:"n"`
-	D             int     `json:"d"`
-	K             int     `json:"k"`
-	Procs         int     `json:"procs"`
-	NumQueries    int     `json:"num_queries"`
-	Iterations    int     `json:"iterations"`
-	SampleEvery   int     `json:"sample_every"`
-	NilNsPerQuery int64   `json:"nil_ns_per_query"`
-	ObsNsPerQuery int64   `json:"obs_ns_per_query"`
-	NilQPS        float64 `json:"nil_qps"`
-	ObsQPS        float64 `json:"obs_qps"`
-	OverheadPct   float64 `json:"overhead_pct"`
-	NilAllocs     int64   `json:"nil_allocs_per_pass"`
-	ObsAllocs     int64   `json:"obs_allocs_per_pass"`
-	SampledTotal  int64   `json:"sampled_total"` // timed queries absorbed by the recorder
+	N              int     `json:"n"`
+	D              int     `json:"d"`
+	K              int     `json:"k"`
+	Procs          int     `json:"procs"`
+	NumQueries     int     `json:"num_queries"`
+	Iterations     int     `json:"iterations"`
+	SampleEvery    int     `json:"sample_every"`
+	NilNsPerQuery  int64   `json:"nil_ns_per_query"`
+	ObsNsPerQuery  int64   `json:"obs_ns_per_query"`
+	JourNsPerQuery int64   `json:"jour_ns_per_query"` // observer + journal attached
+	NilQPS         float64 `json:"nil_qps"`
+	ObsQPS         float64 `json:"obs_qps"`
+	JourQPS        float64 `json:"jour_qps"`
+	OverheadPct    float64 `json:"overhead_pct"`      // observer only, vs nil
+	JourOverhead   float64 `json:"jour_overhead_pct"` // observer + journal, vs nil
+	NilAllocs      int64   `json:"nil_allocs_per_pass"`
+	ObsAllocs      int64   `json:"obs_allocs_per_pass"`
+	JourAllocs     int64   `json:"jour_allocs_per_pass"`
+	SampledTotal   int64   `json:"sampled_total"` // timed queries absorbed by the recorder
 }
 
 // measureObsOverhead times nil-observer vs instrumented serving with the
@@ -66,13 +71,18 @@ func measureObsOverhead(c queryCfg, numQueries, iters int) (ObsOverhead, error) 
 	rec := obs.NewServeRecorder(obs.ServeConfig{}, 1) // production defaults: 1 in 16 sampled
 	inst := septree.NewBatch(frozen, 1)
 	inst.Observe(rec)
+	rec2 := obs.NewServeRecorder(obs.ServeConfig{}, 1)
+	jour := obs.NewJournal(obs.JournalConfig{}, 1) // production default ring
+	journaled := septree.NewBatch(frozen, 1)
+	journaled.Observe(rec2)
+	journaled.Journal(jour)
 
 	type modeRun struct {
 		b      *septree.Batch
 		best   time.Duration
 		allocs uint64
 	}
-	modes := []*modeRun{{b: plain}, {b: inst}}
+	modes := []*modeRun{{b: plain}, {b: inst}, {b: journaled}}
 	for _, m := range modes {
 		m.best = time.Duration(1<<63 - 1)
 		m.b.Run(queries) // warm arenas, recorder rings, and tail buffers
@@ -96,16 +106,20 @@ func measureObsOverhead(c queryCfg, numQueries, iters int) (ObsOverhead, error) 
 	res := ObsOverhead{
 		N: len(pts), D: c.d, K: c.k, Procs: 1,
 		NumQueries: numQueries, Iterations: iters,
-		SampleEvery:   int(rec.SampleEvery()),
-		NilNsPerQuery: modes[0].best.Nanoseconds() / int64(numQueries),
-		ObsNsPerQuery: modes[1].best.Nanoseconds() / int64(numQueries),
-		NilQPS:        float64(numQueries) / modes[0].best.Seconds(),
-		ObsQPS:        float64(numQueries) / modes[1].best.Seconds(),
-		NilAllocs:     int64(modes[0].allocs) / int64(iters),
-		ObsAllocs:     int64(modes[1].allocs) / int64(iters),
-		SampledTotal:  snap.Sampled,
+		SampleEvery:    int(rec.SampleEvery()),
+		NilNsPerQuery:  modes[0].best.Nanoseconds() / int64(numQueries),
+		ObsNsPerQuery:  modes[1].best.Nanoseconds() / int64(numQueries),
+		JourNsPerQuery: modes[2].best.Nanoseconds() / int64(numQueries),
+		NilQPS:         float64(numQueries) / modes[0].best.Seconds(),
+		ObsQPS:         float64(numQueries) / modes[1].best.Seconds(),
+		JourQPS:        float64(numQueries) / modes[2].best.Seconds(),
+		NilAllocs:      int64(modes[0].allocs) / int64(iters),
+		ObsAllocs:      int64(modes[1].allocs) / int64(iters),
+		JourAllocs:     int64(modes[2].allocs) / int64(iters),
+		SampledTotal:   snap.Sampled,
 	}
 	res.OverheadPct = 100 * (float64(res.ObsNsPerQuery) - float64(res.NilNsPerQuery)) / float64(res.NilNsPerQuery)
+	res.JourOverhead = 100 * (float64(res.JourNsPerQuery) - float64(res.NilNsPerQuery)) / float64(res.NilNsPerQuery)
 	return res, nil
 }
 
@@ -119,9 +133,122 @@ func runObsBench(numQueries, iters int) ([]ObsOverhead, error) {
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(os.Stderr, "obs   n=%-6d d=%d k=%d  nil %6d ns/q  obs %6d ns/q  overhead %+5.1f%%  allocs nil=%d obs=%d\n",
-			r.N, r.D, r.K, r.NilNsPerQuery, r.ObsNsPerQuery, r.OverheadPct, r.NilAllocs, r.ObsAllocs)
+		fmt.Fprintf(os.Stderr, "obs   n=%-6d d=%d k=%d  nil %6d ns/q  obs %6d ns/q (%+5.1f%%)  obs+journal %6d ns/q (%+5.1f%%)  allocs nil=%d obs=%d jour=%d\n",
+			r.N, r.D, r.K, r.NilNsPerQuery, r.ObsNsPerQuery, r.OverheadPct,
+			r.JourNsPerQuery, r.JourOverhead, r.NilAllocs, r.ObsAllocs, r.JourAllocs)
 		all = append(all, r)
 	}
 	return all, nil
+}
+
+// JournalBench characterizes the wide-event journal itself rather than
+// its serving overhead: how fast a concurrent consumer can pull events
+// out (the /journal?drain=1 path), and how hard the ring overwrites
+// when nobody drains (the flight-recorder-only deployment, where
+// Snapshot reads whatever the ring still holds).
+type JournalBench struct {
+	N          int `json:"n"`
+	D          int `json:"d"`
+	K          int `json:"k"`
+	NumQueries int `json:"num_queries"`
+	PerStrand  int `json:"per_strand"` // ring capacity per strand
+	Batches    int `json:"batches"`
+
+	// Drained leg: a consumer drains continuously while batches serve.
+	DrainedEvents   uint64  `json:"drained_events"`
+	DrainedPerSec   float64 `json:"drained_events_per_sec"`
+	DrainedDropped  uint64  `json:"drained_dropped"` // overwritten before the drainer got there
+	DrainedDropRate float64 `json:"drained_drop_rate"`
+
+	// Saturated leg: nobody drains; the ring overwrites freely and one
+	// final drain accounts for everything lost.
+	SaturatedPublished uint64  `json:"saturated_published"`
+	SaturatedDropped   uint64  `json:"saturated_dropped"`
+	OverwriteRate      float64 `json:"overwrite_rate"` // dropped / published
+}
+
+// runJournalBench measures journal drain throughput and ring-overwrite
+// behavior over a live batch engine on the d=2 query cell.
+func runJournalBench(numQueries, batches int) (*JournalBench, error) {
+	const perStrand = 1024 // deliberately small: overwrite pressure is the point
+	c := queryCfg{100000, 2, 4}
+	g := xrand.New(uint64(c.n*31 + c.d))
+	pts := pointgen.Dedup(pointgen.MustGenerate(pointgen.UniformCube, c.n, c.d, g.Split()))
+	sys := nbrsys.KNeighborhood(pts, c.k)
+	tree, err := septree.Build(sys, xrand.New(42), nil)
+	if err != nil {
+		return nil, err
+	}
+	frozen, err := septree.Freeze(tree)
+	if err != nil {
+		return nil, err
+	}
+	queries := make([][]float64, numQueries)
+	for i := range queries {
+		if i%3 == 0 {
+			queries[i] = pts[g.IntN(len(pts))]
+		} else {
+			queries[i] = g.InCube(c.d)
+		}
+	}
+	res := &JournalBench{
+		N: len(pts), D: c.d, K: c.k,
+		NumQueries: numQueries, PerStrand: perStrand, Batches: batches,
+	}
+
+	// Drained leg: consumer drains as fast as it can while serving runs.
+	jour := obs.NewJournal(obs.JournalConfig{PerStrand: perStrand}, 1)
+	b := septree.NewBatch(frozen, 1)
+	b.Journal(jour)
+	b.Run(queries) // warm
+	jour.Drain()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var drained, dropped uint64 // dropped is cumulative in each Drain; keep the last
+	go func() {
+		defer close(done)
+		for {
+			d := jour.Drain()
+			drained += uint64(len(d.Events))
+			dropped = d.Dropped
+			select {
+			case <-stop:
+				d := jour.Drain()
+				drained += uint64(len(d.Events))
+				dropped = d.Dropped
+				return
+			default:
+			}
+		}
+	}()
+	start := time.Now()
+	for i := 0; i < batches; i++ {
+		b.Run(queries)
+	}
+	el := time.Since(start)
+	close(stop)
+	<-done
+	res.DrainedEvents = drained
+	res.DrainedDropped = dropped
+	res.DrainedPerSec = float64(drained) / el.Seconds()
+	if total := drained + dropped; total > 0 {
+		res.DrainedDropRate = float64(dropped) / float64(total)
+	}
+
+	// Saturated leg: same engine, nobody drains until the end.
+	jour2 := obs.NewJournal(obs.JournalConfig{PerStrand: perStrand}, 1)
+	b.Journal(jour2)
+	for i := 0; i < batches; i++ {
+		b.Run(queries)
+	}
+	d := jour2.Drain()
+	res.SaturatedPublished = d.Published
+	res.SaturatedDropped = d.Dropped
+	if d.Published > 0 {
+		res.OverwriteRate = float64(d.Dropped) / float64(d.Published)
+	}
+	fmt.Fprintf(os.Stderr, "journal n=%-6d d=%d ring=%d  drained %.0f ev/s (drop rate %.3f)  saturated overwrite rate %.3f (%d/%d)\n",
+		res.N, res.D, perStrand, res.DrainedPerSec, res.DrainedDropRate,
+		res.OverwriteRate, res.SaturatedDropped, res.SaturatedPublished)
+	return res, nil
 }

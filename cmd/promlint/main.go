@@ -5,10 +5,13 @@
 //	curl -s http://127.0.0.1:8080/metrics | promlint
 //	promlint -gauge 'sepdc_audit_pass:1:1' metrics.txt
 //	promlint -gauge 'sepdc_audit_iota_ratio:0:1' -gauge 'sepdc_audit_pass:1:1' metrics.txt
+//	promlint -prev scrape1.txt scrape2.txt
 //
 // Every series of an asserted family must exist and lie within
 // [min, max]; otherwise promlint prints the violation and exits 1.
-// CI uses it to gate the /metrics scrape of cmd/knn -audit.
+// With -prev, counter series (including histogram buckets/counts) must
+// not decrease from the previous scrape to the current one. CI uses it
+// to gate the /metrics scrape of cmd/knn -audit.
 package main
 
 import (
@@ -70,6 +73,7 @@ func run() error {
 	var checks gaugeFlags
 	flag.Var(&checks, "gauge", "assert every series of a family is in range, as name:min:max (repeatable)")
 	quiet := flag.Bool("q", false, "suppress the summary line")
+	prevPath := flag.String("prev", "", "earlier scrape of the same target; counters must not decrease from it")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -89,6 +93,21 @@ func run() error {
 	exp, err := promtext.Lint(in)
 	if err != nil {
 		return fmt.Errorf("%s: %w", src, err)
+	}
+
+	if *prevPath != "" {
+		f, err := os.Open(*prevPath)
+		if err != nil {
+			return err
+		}
+		prev, err := promtext.Lint(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", *prevPath, err)
+		}
+		if err := exp.CounterMonotonic(prev); err != nil {
+			return fmt.Errorf("%s vs %s: %w", src, *prevPath, err)
+		}
 	}
 
 	violations := 0

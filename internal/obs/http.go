@@ -2,9 +2,11 @@ package obs
 
 import (
 	"encoding/json"
+	"io"
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
 
 	"sepdc/internal/obs/promtext"
 )
@@ -20,6 +22,13 @@ import (
 //	           ServeSnapshot per registered recorder (including tail
 //	           samples with descent paths, which have no Prometheus
 //	           representation) plus the global counters.
+//	/journal — the wide-event query journals as JSON Lines: one event
+//	           object per line, every registered journal, ordered by
+//	           (engine, batch, query). ?name=<engine> filters to one
+//	           journal; ?drain=1 consumes (subsequent drains return only
+//	           newer events, and events overwritten between drains count
+//	           as dropped). Ring accounting travels in the
+//	           Sepdc-Journal-Published / -Dropped response headers.
 //
 // Mount it on any mux; cmd/knn wires it into -debug-addr alongside
 // expvar and pprof.
@@ -27,6 +36,7 @@ func Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", serveMetrics)
 	mux.HandleFunc("/statsz", serveStatsz)
+	mux.HandleFunc("/journal", serveJournal)
 	return mux
 }
 
@@ -153,7 +163,12 @@ type statszGauge struct {
 	Value float64 `json:"value"`
 }
 
-func serveStatsz(w http.ResponseWriter, req *http.Request) {
+// WriteStatsz renders the /statsz JSON document to w, propagating every
+// write error (the BuildReport.WriteText discipline: telemetry sinks
+// can fail, and silently truncated JSON is worse than an error).
+// Serving dashboards depend on the document's field names and types
+// staying stable; TestStatszSchemaGolden pins them.
+func WriteStatsz(w io.Writer) error {
 	_, snaps := serveSnapshots()
 	gaugeNames, byName, _ := gaugeSnapshot()
 	doc := statszPayload{Globals: GlobalSnapshot(), Serves: snaps}
@@ -166,8 +181,60 @@ func serveStatsz(w http.ResponseWriter, req *http.Request) {
 			doc.Gauges = append(doc.Gauges, statszGauge{Name: name, Label: label, Value: p.val})
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(doc) // best effort: the connection is the only sink
+	return enc.Encode(doc)
+}
+
+func serveStatsz(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := WriteStatsz(w); err != nil {
+		// Headers are gone; abort the body so the client sees a
+		// truncated (invalid) document and retries.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// journalLine is one /journal JSONL line: the event plus the engine it
+// came from.
+type journalLine struct {
+	Engine string `json:"engine"`
+	JournalEvent
+}
+
+func serveJournal(w http.ResponseWriter, req *http.Request) {
+	consume := req.URL.Query().Get("drain") == "1"
+	filter := req.URL.Query().Get("name")
+	names, journals := journalList()
+	type engineDrain struct {
+		name string
+		d    JournalDrain
+	}
+	var drains []engineDrain
+	var published, dropped uint64
+	for _, name := range names {
+		if filter != "" && name != filter {
+			continue
+		}
+		var d JournalDrain
+		if consume {
+			d = journals[name].Drain()
+		} else {
+			d = journals[name].Snapshot()
+		}
+		published += d.Published
+		dropped += d.Dropped
+		drains = append(drains, engineDrain{name, d})
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Sepdc-Journal-Published", strconv.FormatUint(published, 10))
+	w.Header().Set("Sepdc-Journal-Dropped", strconv.FormatUint(dropped, 10))
+	enc := json.NewEncoder(w)
+	for _, ed := range drains {
+		for i := range ed.d.Events {
+			if err := enc.Encode(journalLine{Engine: ed.name, JournalEvent: ed.d.Events[i]}); err != nil {
+				return // connection gone; nothing left to signal on
+			}
+		}
+	}
 }

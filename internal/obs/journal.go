@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// This file is the wide-event query journal: the flight-recorder
+// counterpart of the ServeRecorder. Where the recorder keeps aggregates
+// (histograms, quantiles, a slow tail), the journal keeps the *events* —
+// one fixed-size structured record per served query, in a bounded
+// per-strand ring that newest traffic overwrites — so a latency breach
+// can be diagnosed from the exact queries around it, not just their
+// distribution. Design constraints mirror serve.go:
+//
+//  1. A detached journal (nil strand) costs one predictable branch per
+//     chunk on the batch hot loop and allocates nothing.
+//
+//  2. An attached journal must not serialize strands and must not
+//     allocate in steady state. The batch engine fills a strand-local
+//     scratch array of events while answering a chunk (plain stores, no
+//     synchronization — the strand owns the scratch) and publishes the
+//     whole chunk with ONE mutex acquisition and one compacting pass
+//     into the strand's pre-allocated ring of 48-byte records. Sixteen
+//     queries per lock keeps the amortized cost in low single-digit
+//     nanoseconds per query.
+//
+//  3. Draining is scrape-path work: it locks each strand briefly, copies
+//     events out, and renders JSONL. Two read modes exist — Snapshot
+//     (non-consuming: the flight recorder wants the ring as evidence,
+//     repeatedly) and Drain (consuming: a streaming consumer wants each
+//     event once, with exact dropped-event accounting in between).
+
+// JournalEvent is one wide event: everything the engine knows about one
+// served query, every field fixed-size so rings never allocate.
+type JournalEvent struct {
+	// Seq is the per-strand publication sequence (1-based, monotone).
+	Seq uint64 `json:"seq"`
+	// Batch is the engine's Run ordinal (1-based) the query belonged to.
+	Batch int64 `json:"batch"`
+	// Query is the index within the batch's query slice.
+	Query int32 `json:"query"`
+	// Strand is the engine strand that answered it.
+	Strand int32 `json:"strand"`
+	// Leaf is the destination leaf node id, or -1 when the engine
+	// answered through a fused path that does not expose it (unsampled
+	// queries on the unblocked engine).
+	Leaf int32 `json:"leaf"`
+	// Nodes is the descent depth (root-to-leaf nodes visited).
+	Nodes int32 `json:"nodes_visited"`
+	// Scanned is the leaf candidates tested.
+	Scanned int32 `json:"leaf_scanned"`
+	// Reported is the covering balls reported.
+	Reported int32 `json:"reported"`
+	// Sampled marks a fully timed phase-split query; only then are the
+	// three latency fields non-zero.
+	Sampled bool `json:"sampled"`
+	// Blocked marks a query answered by a shared query-blocked leaf scan.
+	Blocked bool `json:"blocked"`
+	// LatencyNs is always DescentNs + ScanNs: the ring stores the phase
+	// split and derives the total (with Seq and Strand) at read time, so
+	// the hot path moves 48 bytes per query instead of 72.
+	LatencyNs int64 `json:"latency_ns"`
+	DescentNs int64 `json:"descent_ns"`
+	ScanNs    int64 `json:"scan_ns"`
+}
+
+// journalRec is the stored form of a JournalEvent: the fields the ring
+// must remember. Seq is the ring position + 1, Strand is the owning
+// strand's index, and LatencyNs is DescentNs + ScanNs — all derivable,
+// none stored. 48 bytes versus JournalEvent's 72 means a third less
+// write traffic per published query and a third more retained history
+// per ring byte.
+type journalRec struct {
+	batch             int64
+	descentNs, scanNs int64
+	query, leaf       int32
+	nodes, scanned    int32
+	reported          int32
+	sampled, blocked  bool
+}
+
+// JournalConfig configures a Journal. The zero value selects the
+// defaults noted per field.
+type JournalConfig struct {
+	// PerStrand is each strand's ring capacity in events. 0 selects 4096.
+	PerStrand int
+}
+
+const defaultJournalPerStrand = 4096
+
+func (c JournalConfig) perStrand() int {
+	if c.PerStrand <= 0 {
+		return defaultJournalPerStrand
+	}
+	return c.PerStrand
+}
+
+// Journal is a long-lived, sharded wide-event ring. All methods are
+// nil-safe; Snapshot/Drain may be called concurrently with publishing.
+type Journal struct {
+	cfg JournalConfig
+
+	mu      sync.Mutex // guards strand-slice growth only
+	strands []*JournalStrand
+}
+
+// NewJournal returns a journal with the given strand count (grown on
+// demand by Ensure/Strand).
+func NewJournal(cfg JournalConfig, strands int) *Journal {
+	j := &Journal{cfg: cfg}
+	j.Ensure(strands)
+	return j
+}
+
+// Config returns the journal's resolved configuration.
+func (j *Journal) Config() JournalConfig { return j.cfg }
+
+// Ensure grows the journal to at least n strands. Safe to call
+// concurrently with publishing on existing strands (stable pointers,
+// slice replaced, never resized in place).
+func (j *Journal) Ensure(n int) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for len(j.strands) < n {
+		j.strands = append(j.strands, newJournalStrand(j, len(j.strands)))
+	}
+}
+
+// Strand returns strand i, growing the journal if needed. Nil-safe: a
+// nil journal hands out a nil strand whose methods all no-op.
+func (j *Journal) Strand(i int) *JournalStrand {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	for len(j.strands) <= i {
+		j.strands = append(j.strands, newJournalStrand(j, len(j.strands)))
+	}
+	s := j.strands[i]
+	j.mu.Unlock()
+	return s
+}
+
+// JournalStrand is one strand's event ring. Publish is driven by one
+// goroutine at a time (the batch engine's strand discipline); the
+// strand mutex exists so concurrent drains are race-free, and is taken
+// once per published chunk, never per event.
+type JournalStrand struct {
+	idx int
+
+	mu        sync.Mutex
+	ring      []journalRec
+	published uint64 // total events ever published
+	drained   uint64 // publication position the last Drain consumed through
+	dropped   uint64 // events overwritten before any Drain saw them
+
+	_ [64]byte // keep hot strands off each other's cache lines
+}
+
+func newJournalStrand(j *Journal, idx int) *JournalStrand {
+	return &JournalStrand{idx: idx, ring: make([]journalRec, j.cfg.perStrand())}
+}
+
+// Publish appends a chunk of events to the strand's ring. Seq, Strand,
+// and LatencyNs on the input are ignored — they are derived at read
+// time (Seq from ring position, Strand from ring ownership, LatencyNs
+// as DescentNs + ScanNs). One lock per chunk, no per-event modulo (a
+// 64-bit modulo per event is measurable against sub-microsecond
+// queries), zero allocations. The caller keeps ownership of events.
+func (s *JournalStrand) Publish(events []JournalEvent) {
+	if s == nil || len(events) == 0 {
+		return
+	}
+	s.mu.Lock()
+	n := uint64(len(s.ring))
+	// A chunk larger than the ring keeps only its newest n events.
+	src, start := events, s.published
+	if k := uint64(len(events)); k > n {
+		src, start = events[k-n:], s.published+(k-n)
+	}
+	pos := start % n
+	for i := range src {
+		e := &src[i]
+		s.ring[pos] = journalRec{
+			batch: e.Batch, descentNs: e.DescentNs, scanNs: e.ScanNs,
+			query: e.Query, leaf: e.Leaf, nodes: e.Nodes,
+			scanned: e.Scanned, reported: e.Reported,
+			sampled: e.Sampled, blocked: e.Blocked,
+		}
+		if pos++; pos == n {
+			pos = 0
+		}
+	}
+	s.published += uint64(len(events))
+	s.mu.Unlock()
+}
+
+// read copies out events under the strand lock. When consume is true the
+// read advances the drain cursor and charges overwritten-and-never-seen
+// events to dropped; when false it returns the full retained window
+// without touching the accounting.
+func (s *JournalStrand) read(consume bool, out []JournalEvent) ([]JournalEvent, uint64, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := uint64(len(s.ring))
+	from := s.published - min64(s.published, n) // oldest retained position
+	if consume {
+		if s.drained > from {
+			from = s.drained
+		} else {
+			s.dropped += from - s.drained
+		}
+		s.drained = s.published
+	}
+	for pos := from; pos < s.published; pos++ {
+		r := &s.ring[pos%n]
+		out = append(out, JournalEvent{
+			Seq: pos + 1, Batch: r.batch, Query: r.query,
+			Strand: int32(s.idx), Leaf: r.leaf, Nodes: r.nodes,
+			Scanned: r.scanned, Reported: r.reported,
+			Sampled: r.sampled, Blocked: r.blocked,
+			LatencyNs: r.descentNs + r.scanNs,
+			DescentNs: r.descentNs, ScanNs: r.scanNs,
+		})
+	}
+	return out, s.published, s.dropped
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// JournalDrain is the result of one Snapshot or Drain: the events in a
+// deterministic global order plus the ring accounting needed to judge
+// how much history the rings are keeping under the current load.
+type JournalDrain struct {
+	Strands   int            `json:"strands"`
+	Capacity  int            `json:"capacity_per_strand"`
+	Published uint64         `json:"published"` // events ever published
+	Dropped   uint64         `json:"dropped"`   // overwritten before any Drain saw them
+	Events    []JournalEvent `json:"events"`
+}
+
+// Snapshot returns the journal's currently retained events without
+// consuming them — the flight recorder's read. Events are ordered by
+// (Batch, Query), a total order since each query index appears once per
+// engine Run. Nil-safe.
+func (j *Journal) Snapshot() JournalDrain { return j.read(false) }
+
+// Drain returns every retained event not returned by a previous Drain
+// and advances the drop accounting: events overwritten between drains
+// count toward Dropped. Snapshot reads do not consume. Nil-safe.
+func (j *Journal) Drain() JournalDrain { return j.read(true) }
+
+func (j *Journal) read(consume bool) JournalDrain {
+	if j == nil {
+		return JournalDrain{}
+	}
+	j.mu.Lock()
+	strands := append([]*JournalStrand(nil), j.strands...)
+	j.mu.Unlock()
+	d := JournalDrain{Strands: len(strands), Capacity: j.cfg.perStrand()}
+	for _, s := range strands {
+		var pub, drop uint64
+		d.Events, pub, drop = s.read(consume, d.Events)
+		d.Published += pub
+		d.Dropped += drop
+	}
+	sort.Slice(d.Events, func(a, b int) bool {
+		if d.Events[a].Batch != d.Events[b].Batch {
+			return d.Events[a].Batch < d.Events[b].Batch
+		}
+		return d.Events[a].Query < d.Events[b].Query
+	})
+	return d
+}
+
+// WriteJSONL renders a drain as JSON Lines: one event object per line,
+// ordered by (Batch, Query), preceded by no header — the accounting
+// fields travel separately (flight bundles put them in meta.json; the
+// /journal endpoint exposes them as response headers). Every write
+// error from w is propagated, matching the BuildReport.WriteText
+// discipline: a telemetry sink that silently drops events is worse than
+// an error.
+func (d JournalDrain) WriteJSONL(w io.Writer) error {
+	for i := range d.Events {
+		b, err := json.Marshal(&d.Events[i])
+		if err != nil {
+			return fmt.Errorf("obs: journal event %d: %w", i, err)
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte{'\n'}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -225,7 +225,11 @@ func parseLabels(body string) ([]Label, error) {
 		i++
 		var val strings.Builder
 		for i < len(body) && body[i] != '"' {
-			if body[i] == '\\' && i+1 < len(body) {
+			switch body[i] {
+			case '\\':
+				if i+1 >= len(body) {
+					return nil, fmt.Errorf("unterminated escape in label %q", name)
+				}
 				i++
 				switch body[i] {
 				case 'n':
@@ -235,7 +239,11 @@ func parseLabels(body string) ([]Label, error) {
 				default:
 					return nil, fmt.Errorf("bad escape \\%c in label %q", body[i], name)
 				}
-			} else {
+			case '\n':
+				// A raw newline can only appear here when a writer emitted
+				// it unescaped — scrapers would see a torn sample line.
+				return nil, fmt.Errorf("unescaped newline in value of label %q", name)
+			default:
 				val.WriteByte(body[i])
 			}
 			i++
@@ -244,10 +252,16 @@ func parseLabels(body string) ([]Label, error) {
 			return nil, fmt.Errorf("unterminated value for label %q", name)
 		}
 		i++ // closing quote
-		out = append(out, Label{name, val.String()})
-		if i < len(body) && body[i] == ',' {
+		// Strict continuation: anything but a separating comma or the end
+		// of the label set means an unescaped quote tore the value (e.g.
+		// a="b"c") or the pairs are malformed.
+		if i < len(body) {
+			if body[i] != ',' {
+				return nil, fmt.Errorf("unescaped quote or garbage after value of label %q", name)
+			}
 			i++
 		}
+		out = append(out, Label{name, val.String()})
 	}
 	return out, nil
 }
@@ -262,6 +276,31 @@ func parseValue(s string) (float64, error) {
 		return math.NaN(), nil
 	}
 	return strconv.ParseFloat(s, 64)
+}
+
+// CounterMonotonic verifies that no counter series decreased from a
+// previous scrape of the same target: every series declared a counter
+// in BOTH expositions and present in both must satisfy curr >= prev.
+// Series that appear or disappear are fine (registration churn);
+// decreases mean a counter was reset or two sources fought over one
+// name — either way the rate() a dashboard computes over it is garbage.
+func (e *Exposition) CounterMonotonic(prev *Exposition) error {
+	prevVals := map[string]float64{}
+	for _, s := range prev.Series {
+		if prev.Types[familyOf(prev.Types, s.Name)] == "counter" {
+			prevVals[s.Name+formatLabels(s.Labels)] = s.Value
+		}
+	}
+	for _, s := range e.Series {
+		if e.Types[familyOf(e.Types, s.Name)] != "counter" {
+			continue
+		}
+		key := s.Name + formatLabels(s.Labels)
+		if pv, ok := prevVals[key]; ok && s.Value < pv {
+			return fmt.Errorf("counter %s decreased between scrapes: %v -> %v", key, pv, s.Value)
+		}
+	}
+	return nil
 }
 
 // check runs the per-family semantic validations.

@@ -171,3 +171,137 @@ func TestLintAcceptsTimestampsAndComments(t *testing.T) {
 		t.Fatalf("series = %+v", exp.Series)
 	}
 }
+
+// TestLintStrictLabelValues: unescaped quotes and raw newlines inside
+// label values must be rejected, not silently re-tokenized into extra
+// labels or torn sample lines.
+func TestLintStrictLabelValues(t *testing.T) {
+	cases := []struct {
+		name    string
+		doc     string
+		wantErr string
+	}{
+		{
+			"unescaped quote tears value",
+			"# TYPE g gauge\ng{a=\"b\"c} 1\n",
+			"unescaped quote",
+		},
+		{
+			"unescaped quote re-opens set",
+			"# TYPE g gauge\ng{a=\"b\"c\"} 1\n",
+			"unterminated label set",
+		},
+		{
+			"garbage between pairs",
+			"# TYPE g gauge\ng{a=\"b\" x=\"y\"} 1\n",
+			"unescaped quote or garbage",
+		},
+		{
+			"raw newline in value",
+			"",
+			"unescaped newline",
+		},
+		{
+			"unterminated escape",
+			"",
+			"unterminated escape",
+		},
+		{
+			"bad escape",
+			"# TYPE g gauge\ng{a=\"b\\t\"} 1\n",
+			"bad escape",
+		},
+	}
+	for _, c := range cases {
+		var err error
+		switch c.name {
+		case "raw newline in value":
+			// A raw newline cannot ride through the line scanner, so hit
+			// parseLabels directly — the layer a future non-line-based
+			// reader would use.
+			_, err = parseLabels("a=\"b\nc\"")
+		case "unterminated escape":
+			_, err = parseLabels(`a="b\`)
+		default:
+			_, err = Lint(strings.NewReader(c.doc))
+		}
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+	// Properly escaped values still parse.
+	if _, err := Lint(strings.NewReader("# TYPE g gauge\ng{a=\"q\\\"uote\",b=\"line\\nbreak\"} 1\n")); err != nil {
+		t.Fatalf("escaped values rejected: %v", err)
+	}
+}
+
+// TestCounterMonotonic: counters must not decrease between two scrapes
+// of the same target; appearing/disappearing series and gauges moving
+// down are fine.
+func TestCounterMonotonic(t *testing.T) {
+	mustLint := func(doc string) *Exposition {
+		exp, err := Lint(strings.NewReader(doc))
+		if err != nil {
+			t.Fatalf("lint: %v\n%s", err, doc)
+		}
+		return exp
+	}
+	cases := []struct {
+		name      string
+		prev, cur string
+		wantErr   string
+	}{
+		{
+			"counters advance",
+			"# TYPE c_total counter\nc_total{q=\"a\"} 5\nc_total{q=\"b\"} 2\n",
+			"# TYPE c_total counter\nc_total{q=\"a\"} 9\nc_total{q=\"b\"} 2\n",
+			"",
+		},
+		{
+			"counter decreases",
+			"# TYPE c_total counter\nc_total{q=\"a\"} 5\n",
+			"# TYPE c_total counter\nc_total{q=\"a\"} 3\n",
+			"decreased between scrapes",
+		},
+		{
+			"histogram count decreases",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 7\nh_sum 1\nh_count 7\n",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 4\n",
+			"",
+		},
+		{
+			"gauge may decrease",
+			"# TYPE g gauge\ng 10\n",
+			"# TYPE g gauge\ng 1\n",
+			"",
+		},
+		{
+			"series churn tolerated",
+			"# TYPE c_total counter\nc_total{q=\"old\"} 5\n",
+			"# TYPE c_total counter\nc_total{q=\"new\"} 1\n",
+			"",
+		},
+		{
+			"same name different labels independent",
+			"# TYPE c_total counter\nc_total{q=\"a\"} 5\nc_total{q=\"b\"} 9\n",
+			"# TYPE c_total counter\nc_total{q=\"a\"} 6\nc_total{q=\"b\"} 9\n",
+			"",
+		},
+	}
+	for _, c := range cases {
+		err := mustLint(c.cur).CounterMonotonic(mustLint(c.prev))
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error = %v, want mention of %q", c.name, err, c.wantErr)
+		}
+	}
+}

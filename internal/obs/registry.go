@@ -20,16 +20,18 @@ type GaugeKey struct {
 }
 
 type registry struct {
-	mu     sync.Mutex
-	serves map[string]*ServeRecorder
-	gauges map[GaugeKey]float64
-	help   map[string]string
+	mu       sync.Mutex
+	serves   map[string]*ServeRecorder
+	journals map[string]*Journal
+	gauges   map[GaugeKey]float64
+	help     map[string]string
 }
 
 var reg = registry{
-	serves: map[string]*ServeRecorder{},
-	gauges: map[GaugeKey]float64{},
-	help:   map[string]string{},
+	serves:   map[string]*ServeRecorder{},
+	journals: map[string]*Journal{},
+	gauges:   map[GaugeKey]float64{},
+	help:     map[string]string{},
 }
 
 // RegisterServe publishes a serve recorder under name (e.g. "batch");
@@ -45,6 +47,62 @@ func RegisterServe(name string, r *ServeRecorder) {
 	reg.serves[name] = r
 }
 
+// RegisterServeIfAbsent publishes r under name only when the name is
+// free, and returns the recorder that owns the slot afterwards: r when
+// the registration won, the incumbent otherwise (registered reports
+// which). Replacing deliberately goes through RegisterServe; this is
+// the deterministic-name path for callers that must not silently drop
+// a live recorder's exposition slot.
+func RegisterServeIfAbsent(name string, r *ServeRecorder) (owner *ServeRecorder, registered bool) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if cur, ok := reg.serves[name]; ok {
+		return cur, false
+	}
+	reg.serves[name] = r
+	return r, true
+}
+
+// LookupServe returns the recorder registered under name, or nil.
+func LookupServe(name string) *ServeRecorder {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	return reg.serves[name]
+}
+
+// RegisterJournal publishes a wide-event journal under name; the
+// /journal endpoint drains it per request. A nil journal unregisters.
+func RegisterJournal(name string, j *Journal) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if j == nil {
+		delete(reg.journals, name)
+		return
+	}
+	reg.journals[name] = j
+}
+
+// LookupJournal returns the journal registered under name, or nil.
+func LookupJournal(name string) *Journal {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	return reg.journals[name]
+}
+
+// journalList returns the registered journals, names sorted.
+func journalList() ([]string, map[string]*Journal) {
+	reg.mu.Lock()
+	out := make(map[string]*Journal, len(reg.journals))
+	names := make([]string, 0, len(reg.journals))
+	for k, v := range reg.journals {
+		out[k] = v
+		names = append(names, k)
+	}
+	reg.mu.Unlock()
+	sort.Strings(names)
+	return names, out
+}
+
 // SetGauge publishes (or updates) one gauge series. help is recorded
 // per metric name on first use.
 func SetGauge(k GaugeKey, help string, v float64) {
@@ -54,6 +112,31 @@ func SetGauge(k GaugeKey, help string, v float64) {
 	if _, ok := reg.help[k.Name]; !ok {
 		reg.help[k.Name] = help
 	}
+}
+
+// GaugeValue is one published gauge series and its current value.
+type GaugeValue struct {
+	Name       string  `json:"name"`
+	LabelName  string  `json:"label_name,omitempty"`
+	LabelValue string  `json:"label_value,omitempty"`
+	Value      float64 `json:"value"`
+}
+
+// Gauges returns every registered gauge series, sorted by (name, label
+// value) — the flight recorder folds this into a bundle's metadata, and
+// tests assert published series through it.
+func Gauges() []GaugeValue {
+	names, byName, _ := gaugeSnapshot()
+	var out []GaugeValue
+	for _, name := range names {
+		for _, p := range byName[name] {
+			out = append(out, GaugeValue{
+				Name: name, LabelName: p.key.LabelName,
+				LabelValue: p.key.LabelValue, Value: p.val,
+			})
+		}
+	}
+	return out
 }
 
 // serveSnapshots returns name → snapshot for every registered serve

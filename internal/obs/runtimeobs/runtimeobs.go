@@ -1,0 +1,255 @@
+// Package runtimeobs bridges runtime/metrics into the sepdc telemetry
+// registry so serving series and runtime series land in the same
+// /metrics scrape. A p999 latency breach rarely explains itself from
+// the serving side alone — the usual suspects are a GC pause, scheduler
+// queueing, or mutex convoy, and all three live in runtime/metrics. The
+// bridge polls a fixed, documented subset and republishes it through
+// obs.SetGauge as sepdc_runtime_* gauges, keeping the obs package's
+// dependency-free exposition path (no client libraries).
+//
+// The sampler is defensive against toolchain drift: metric names are
+// looked up via metrics.All at construction and names the runtime no
+// longer exposes (or whose kind changed) are skipped silently, so a Go
+// version bump degrades coverage instead of panicking the scrape path.
+package runtimeobs
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+
+	"sepdc/internal/obs"
+)
+
+// The polled subset. Histogram-kind metrics export fixed percentiles
+// (p50/p99/max) — full histogram republication would multiply scrape
+// cardinality for little diagnostic gain over the flight recorder's
+// raw snapshot.
+const (
+	mGCPauses   = "/gc/pauses:seconds"
+	mSchedLat   = "/sched/latencies:seconds"
+	mHeapLive   = "/memory/classes/heap/objects:bytes"
+	mMutexWait  = "/sync/mutex/wait/total:seconds"
+	mGoroutines = "/sched/goroutines:goroutines"
+	mGCCycles   = "/gc/cycles/total:gc-cycles"
+)
+
+// gaugeFor maps a runtime/metrics sample (plus an optional percentile
+// suffix) onto the exported gauge name and help text.
+type gaugeDesc struct {
+	name string
+	help string
+}
+
+var scalarGauges = map[string]gaugeDesc{
+	mHeapLive:   {"sepdc_runtime_heap_live_bytes", "Bytes of live heap objects (runtime/metrics /memory/classes/heap/objects)."},
+	mMutexWait:  {"sepdc_runtime_mutex_wait_seconds", "Cumulative seconds goroutines have waited on contended mutexes."},
+	mGoroutines: {"sepdc_runtime_goroutines", "Live goroutine count."},
+	mGCCycles:   {"sepdc_runtime_gc_cycles", "Completed GC cycles."},
+}
+
+var histGauges = map[string]gaugeDesc{
+	mGCPauses: {"sepdc_runtime_gc_pause_seconds", "GC stop-the-world pause distribution (runtime/metrics /gc/pauses)."},
+	mSchedLat: {"sepdc_runtime_sched_latency_seconds", "Goroutine scheduling latency distribution (runtime/metrics /sched/latencies)."},
+}
+
+// histQuantiles are the percentiles extracted from histogram-kind
+// runtime metrics, published as one gauge series per quantile label.
+var histQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"p50", 0.50},
+	{"p99", 0.99},
+	{"max", 1.00},
+}
+
+// Sampler polls a fixed runtime/metrics subset into the obs gauge
+// registry. Construct once with New, then either call Poll on your own
+// cadence or Start a background loop. All methods are nil-safe.
+type Sampler struct {
+	samples []metrics.Sample // resolved at construction, reused every poll
+
+	mu   sync.Mutex
+	last map[string]float64 // gauge series name ("name{quantile}") → value
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New resolves the polled metric set against the running toolchain's
+// metrics.All and returns a sampler over the intersection. Never fails:
+// a runtime that exposes none of the metrics yields a sampler whose
+// Poll is a no-op.
+func New() *Sampler {
+	known := map[string]metrics.ValueKind{}
+	for _, d := range metrics.All() {
+		known[d.Name] = d.Kind
+	}
+	s := &Sampler{last: map[string]float64{}}
+	add := func(name string, want metrics.ValueKind) {
+		if known[name] == want {
+			s.samples = append(s.samples, metrics.Sample{Name: name})
+		}
+	}
+	add(mGCPauses, metrics.KindFloat64Histogram)
+	add(mSchedLat, metrics.KindFloat64Histogram)
+	add(mHeapLive, metrics.KindUint64)
+	add(mMutexWait, metrics.KindFloat64)
+	add(mGoroutines, metrics.KindUint64)
+	add(mGCCycles, metrics.KindUint64)
+	return s
+}
+
+// Poll reads the runtime metrics once and publishes them as
+// sepdc_runtime_* gauges. Cheap enough for a scrape handler (one
+// metrics.Read over ~6 samples); not a hot-path call.
+func (s *Sampler) Poll() {
+	if s == nil || len(s.samples) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metrics.Read(s.samples)
+	for i := range s.samples {
+		sm := &s.samples[i]
+		switch sm.Value.Kind() {
+		case metrics.KindUint64:
+			if g, ok := scalarGauges[sm.Name]; ok {
+				s.publish(obs.GaugeKey{Name: g.name}, g.help, float64(sm.Value.Uint64()))
+			}
+		case metrics.KindFloat64:
+			if g, ok := scalarGauges[sm.Name]; ok {
+				s.publish(obs.GaugeKey{Name: g.name}, g.help, sm.Value.Float64())
+			}
+		case metrics.KindFloat64Histogram:
+			g, ok := histGauges[sm.Name]
+			if !ok {
+				continue
+			}
+			h := sm.Value.Float64Histogram()
+			for _, hq := range histQuantiles {
+				s.publish(obs.GaugeKey{Name: g.name, LabelName: "quantile", LabelValue: hq.label},
+					g.help, histPercentile(h, hq.q))
+			}
+		}
+	}
+}
+
+func (s *Sampler) publish(k obs.GaugeKey, help string, v float64) {
+	obs.SetGauge(k, help, v)
+	key := k.Name
+	if k.LabelValue != "" {
+		key += "{" + k.LabelValue + "}"
+	}
+	s.last[key] = v
+}
+
+// Snapshot returns the most recently published gauge values, keyed by
+// "name" or "name{quantile}" — the flight recorder stores this as the
+// bundle's runtime.json so the runtime's state at capture time travels
+// with the serving evidence. Calls Poll first so the snapshot is fresh.
+func (s *Sampler) Snapshot() map[string]float64 {
+	if s == nil {
+		return nil
+	}
+	s.Poll()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]float64, len(s.last))
+	for k, v := range s.last {
+		out[k] = v
+	}
+	return out
+}
+
+// Start launches a background poll loop at the given interval
+// (<=0 selects 10s) and returns the sampler for chaining. Stop with
+// Close; starting an already started sampler is a no-op.
+func (s *Sampler) Start(interval time.Duration) *Sampler {
+	if s == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		return s
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+	s.Poll()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.Poll()
+			}
+		}
+	}()
+	return s
+}
+
+// Close stops the background loop started by Start and waits for it to
+// exit. Safe to call without Start, or twice.
+func (s *Sampler) Close() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// histPercentile extracts percentile q from a runtime/metrics
+// Float64Histogram (cumulative-count walk over bucket counts; returns
+// the upper bound of the bucket where the rank lands, clamping the
+// open-ended tail bucket to its lower bound). Empty histograms yield 0.
+func histPercentile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > rank {
+			// Buckets[i] is the lower bound, Buckets[i+1] the upper.
+			up := i + 1
+			if up >= len(h.Buckets) {
+				up = len(h.Buckets) - 1
+			}
+			v := h.Buckets[up]
+			if v > 1e300 || v < -1e300 { // ±Inf tail: report the finite edge
+				v = h.Buckets[i]
+			}
+			return v
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -1,0 +1,120 @@
+package runtimeobs
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"testing"
+	"time"
+
+	"sepdc/internal/obs"
+	"sepdc/internal/obs/promtext"
+)
+
+func TestSamplerPollPublishesGauges(t *testing.T) {
+	runtime.GC() // make sure at least one GC cycle exists
+	s := New()
+	s.Poll()
+	snap := s.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("sampler published nothing")
+	}
+	for _, key := range []string{
+		"sepdc_runtime_heap_live_bytes",
+		"sepdc_runtime_goroutines",
+		"sepdc_runtime_gc_cycles",
+		"sepdc_runtime_gc_pause_seconds{p99}",
+		"sepdc_runtime_sched_latency_seconds{p50}",
+	} {
+		v, ok := snap[key]
+		if !ok {
+			t.Fatalf("snapshot missing %q (have %v)", key, snap)
+		}
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("%s = %v", key, v)
+		}
+	}
+	if snap["sepdc_runtime_heap_live_bytes"] == 0 {
+		t.Fatal("live heap reported as zero")
+	}
+	if snap["sepdc_runtime_goroutines"] < 1 {
+		t.Fatalf("goroutines = %v", snap["sepdc_runtime_goroutines"])
+	}
+}
+
+func TestSamplerExpositionLints(t *testing.T) {
+	s := New()
+	s.Poll()
+	srv := httptest.NewServer(obs.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "sepdc_runtime_heap_live_bytes") {
+		t.Fatalf("runtime gauges missing from exposition:\n%s", text)
+	}
+	if !strings.Contains(text, `sepdc_runtime_gc_pause_seconds{quantile="p99"}`) {
+		t.Fatal("histogram-percentile gauge series missing")
+	}
+	if _, err := promtext.Lint(strings.NewReader(text)); err != nil {
+		t.Fatalf("exposition does not lint: %v", err)
+	}
+}
+
+func TestSamplerStartClose(t *testing.T) {
+	s := New().Start(time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	s.Close() // idempotent
+	if snap := s.Snapshot(); len(snap) == 0 {
+		t.Fatal("closed sampler lost its values")
+	}
+	// Start after Close works again.
+	s.Start(time.Millisecond)
+	s.Close()
+}
+
+func TestSamplerNilSafe(t *testing.T) {
+	var s *Sampler
+	s.Poll()
+	s.Close()
+	if s.Start(time.Second) != nil {
+		t.Fatal("nil Start returned non-nil")
+	}
+	if s.Snapshot() != nil {
+		t.Fatal("nil Snapshot returned non-nil")
+	}
+}
+
+func TestHistPercentile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 10, 80, 10},
+		Buckets: []float64{0, 1, 2, 3, math.Inf(1)},
+	}
+	if got := histPercentile(h, 0.5); got != 3 {
+		t.Fatalf("p50 = %v, want 3 (upper bound of the bucket holding rank 50)", got)
+	}
+	if got := histPercentile(h, 0); got != 2 {
+		t.Fatalf("p0 = %v, want 2", got)
+	}
+	// Max lands in the +Inf-bounded bucket: clamp to its finite lower edge.
+	if got := histPercentile(h, 1); got != 3 {
+		t.Fatalf("max = %v, want 3", got)
+	}
+	if got := histPercentile(nil, 0.5); got != 0 {
+		t.Fatalf("nil hist = %v", got)
+	}
+	if got := histPercentile(&metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}, 0.5); got != 0 {
+		t.Fatalf("empty hist = %v", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sepdc/internal/chaos"
 	"sepdc/internal/obs"
 	"sepdc/internal/pool"
 )
@@ -38,6 +39,16 @@ type Batch struct {
 	closed  bool
 	blockW  int // leaf-scan query-block width; <= 1 disables blocking
 
+	// inj is the serving-side chaos seam (nil = no injection, one
+	// predictable branch per claimed chunk): the stall clause delays a
+	// strand before each chunk it processes, modeling a lagging serving
+	// worker without changing any answer.
+	inj *chaos.Injector
+
+	// curBatch is the 1-based ordinal of the Run in flight, stamped on
+	// journal events. Written between runs, read by strands during one.
+	curBatch int64
+
 	// Cumulative engine statistics.
 	batches int64
 	latency obs.LogHist
@@ -62,6 +73,13 @@ type batchShard struct {
 	// records without allocating.
 	serve *obs.ServeStrand
 	path  []int32
+	// journal is this strand's slot in the attached wide-event journal
+	// (nil = one branch per chunk). jbuf is the chunk's event scratch:
+	// filled with plain stores while answering, published to the ring
+	// with one lock + one copy per chunk, so journaling every query
+	// costs low single-digit nanoseconds amortized and zero allocations.
+	journal *obs.JournalStrand
+	jbuf    [batchChunk]obs.JournalEvent
 	// Query-blocking scratch (allocated by SetBlockWidth, reused across
 	// runs). leaves/qnodes/done hold the current chunk's descent results;
 	// qs and outs are the lane views handed to scanLeafBlock — outs lanes
@@ -130,6 +148,27 @@ func (b *Batch) Observe(r *obs.ServeRecorder) {
 	}
 }
 
+// Journal attaches a wide-event journal: each strand publishes one
+// fixed-size structured event per served query (batch/query ids,
+// destination leaf where known, descent depth, candidates scanned,
+// balls reported, phase-split latency for sampled queries) into its own
+// bounded ring, one lock per chunk. A nil journal detaches. Not safe to
+// call concurrently with Run; answers are unaffected.
+func (b *Batch) Journal(j *obs.Journal) {
+	j.Ensure(len(b.shards))
+	for i := range b.shards {
+		b.shards[i].journal = j.Strand(i) // nil journal hands out nil strands
+	}
+}
+
+// Chaos attaches a fault injector to the serving engine. Only the stall
+// clause applies here: each strand sleeps the configured duration before
+// every chunk of queries it claims, the serving analogue of the build
+// pool's lagging-worker injection — per-batch latency inflates, answers
+// are bit-identical. Nil detaches. Not safe to call concurrently with
+// Run.
+func (b *Batch) Chaos(inj *chaos.Injector) { b.inj = inj }
+
 // SetBlockWidth sets the engine's leaf-scan query-blocking width,
 // clamped to [1, 8]. Widths above 1 enable blocked scans: after a chunk
 // of queries descends, queries that landed on the same leaf are grouped
@@ -186,6 +225,7 @@ func (b *Batch) RunClosed(queries [][]float64) { b.run(queries, true) }
 func (b *Batch) run(queries [][]float64, closed bool) {
 	start := time.Now()
 	b.queries, b.closed = queries, closed
+	b.curBatch = b.batches + 1
 	b.nq = int64(len(queries))
 	if cap(b.spans) < len(queries) {
 		b.spans = make([]span, len(queries))
@@ -245,6 +285,7 @@ func (b *Batch) strand(id int) {
 	sh := &b.shards[id]
 	f := b.f
 	closed := b.closed
+	jn := sh.journal != nil
 	for {
 		lo := b.next.Add(batchChunk) - batchChunk
 		if lo >= b.nq {
@@ -254,10 +295,14 @@ func (b *Batch) strand(id int) {
 		if hi > b.nq {
 			hi = b.nq
 		}
+		b.inj.Stall(nil) // chaos: a lagging serving worker (nil = no-op)
 		for qi := lo; qi < hi; qi++ {
 			before := len(sh.ids)
 			var nodes, scanned int
-			if sh.serve.ShouldSample() {
+			leaf := int32(-1)
+			var descNs, scanNs int64
+			sampled := sh.serve.ShouldSample()
+			if sampled {
 				// Sampled timed path: phase-split clock reads bracket the
 				// descent and the leaf scan separately, and the descent
 				// route is captured for the tail sampler. Identical
@@ -265,14 +310,15 @@ func (b *Batch) strand(id int) {
 				// covering kernels are built from.
 				q := b.queries[qi]
 				t0 := time.Now()
-				leaf, path := f.DescendPath(q, sh.path[:0])
+				lf, path := f.DescendPath(q, sh.path[:0])
 				t1 := time.Now()
-				sh.ids, scanned = f.ScanLeaf(leaf, q, closed, sh.ids)
+				sh.ids, scanned = f.ScanLeaf(lf, q, closed, sh.ids)
 				t2 := time.Now()
 				sh.path = path
 				nodes = len(path)
-				sh.serve.Record(t1.Sub(t0).Nanoseconds(), t2.Sub(t1).Nanoseconds(),
-					nodes, scanned, len(sh.ids)-before, path)
+				leaf = lf
+				descNs, scanNs = t1.Sub(t0).Nanoseconds(), t2.Sub(t1).Nanoseconds()
+				sh.serve.Record(descNs, scanNs, nodes, scanned, len(sh.ids)-before, path)
 			} else if closed {
 				sh.ids, nodes, scanned = f.CoveringClosed(b.queries[qi], sh.ids)
 			} else {
@@ -282,6 +328,17 @@ func (b *Batch) strand(id int) {
 			sh.queries++
 			sh.nodes += int64(nodes)
 			sh.scanned += int64(scanned)
+			if jn {
+				sh.jbuf[qi-lo] = obs.JournalEvent{
+					Batch: b.curBatch, Query: int32(qi), Leaf: leaf,
+					Nodes: int32(nodes), Scanned: int32(scanned),
+					Reported: int32(len(sh.ids) - before), Sampled: sampled,
+					LatencyNs: descNs + scanNs, DescentNs: descNs, ScanNs: scanNs,
+				}
+			}
+		}
+		if jn {
+			sh.journal.Publish(sh.jbuf[:hi-lo])
 		}
 		sh.serve.NoteQueries(hi - lo)
 	}
@@ -303,6 +360,7 @@ func (b *Batch) strandBlocked(id int) {
 	f := b.f
 	closed := b.closed
 	blockW := b.blockW
+	jn := sh.journal != nil
 	for {
 		lo := b.next.Add(batchChunk) - batchChunk
 		if lo >= b.nq {
@@ -313,6 +371,7 @@ func (b *Batch) strandBlocked(id int) {
 			hi = b.nq
 		}
 		cn := int(hi - lo)
+		b.inj.Stall(nil) // chaos: a lagging serving worker (nil = no-op)
 		// Phase 1: descend. DescendPath dispatches to the d=2/3 inlined
 		// descents at the hot dimensions and reuses the shard's path
 		// scratch, so counting nodes costs nothing extra.
@@ -328,13 +387,22 @@ func (b *Batch) strandBlocked(id int) {
 				sh.ids, scanned = f.ScanLeaf(leaf, q, closed, sh.ids)
 				t2 := time.Now()
 				sh.path = path
-				sh.serve.Record(t1.Sub(t0).Nanoseconds(), t2.Sub(t1).Nanoseconds(),
+				descNs, scanNs := t1.Sub(t0).Nanoseconds(), t2.Sub(t1).Nanoseconds()
+				sh.serve.Record(descNs, scanNs,
 					len(path), scanned, len(sh.ids)-before, path)
 				b.spans[qi] = span{shard: int32(id), start: int32(before), end: int32(len(sh.ids))}
 				sh.queries++
 				sh.nodes += int64(len(path))
 				sh.scanned += int64(scanned)
 				sh.done[k] = true
+				if jn {
+					sh.jbuf[k] = obs.JournalEvent{
+						Batch: b.curBatch, Query: int32(qi), Leaf: leaf,
+						Nodes: int32(len(path)), Scanned: int32(scanned),
+						Reported: int32(len(sh.ids) - before), Sampled: true,
+						LatencyNs: descNs + scanNs, DescentNs: descNs, ScanNs: scanNs,
+					}
+				}
 				continue
 			}
 			leaf, path := f.DescendPath(q, sh.path[:0])
@@ -367,6 +435,13 @@ func (b *Batch) strandBlocked(id int) {
 				sh.queries++
 				sh.nodes += int64(sh.qnodes[k])
 				sh.scanned += int64(scanned)
+				if jn {
+					sh.jbuf[k] = obs.JournalEvent{
+						Batch: b.curBatch, Query: int32(qi), Leaf: leaf,
+						Nodes: sh.qnodes[k], Scanned: int32(scanned),
+						Reported: int32(len(sh.ids) - before),
+					}
+				}
 				continue
 			}
 			for i := 0; i < w; i++ {
@@ -382,7 +457,17 @@ func (b *Batch) strandBlocked(id int) {
 				sh.queries++
 				sh.nodes += int64(sh.qnodes[lanes[i]])
 				sh.scanned += int64(scanned)
+				if jn {
+					sh.jbuf[lanes[i]] = obs.JournalEvent{
+						Batch: b.curBatch, Query: int32(qi), Leaf: leaf,
+						Nodes: sh.qnodes[lanes[i]], Scanned: int32(scanned),
+						Reported: int32(len(sh.ids) - before), Blocked: true,
+					}
+				}
 			}
+		}
+		if jn {
+			sh.journal.Publish(sh.jbuf[:cn])
 		}
 		sh.serve.NoteQueries(hi - lo)
 	}

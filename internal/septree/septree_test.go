@@ -12,7 +12,7 @@ import (
 	"sepdc/internal/xrand"
 )
 
-func buildUniform(t *testing.T, n, d, k int, seed uint64, opts *Options) (*Tree, []vec.Vec) {
+func buildUniform(t testing.TB, n, d, k int, seed uint64, opts *Options) (*Tree, []vec.Vec) {
 	t.Helper()
 	g := xrand.New(seed)
 	pts := pointgen.Dedup(pointgen.MustGenerate(pointgen.UniformCube, n, d, g))

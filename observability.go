@@ -42,10 +42,30 @@ type ServeObserver struct {
 }
 
 // NewServeObserver creates an observer and registers it under name in
-// the /metrics exposition (series sepdc_serve_<name>_*). Names repeat at
-// the caller's peril: re-registering replaces the previous observer's
-// exposition slot.
+// the /metrics exposition (series sepdc_serve_<name>_*). Registration is
+// deterministic: the first observer created under a name owns the
+// exposition slot, and a second NewServeObserver with the same name
+// returns an observer sharing the incumbent's recorder (the requested
+// config is ignored) instead of silently dropping the live one's
+// telemetry. To deliberately swap a name's recorder, use
+// ReplaceServeObserver.
 func NewServeObserver(name string, cfg ServeObserverConfig) *ServeObserver {
+	rec, _ := obs.RegisterServeIfAbsent(name, newServeRecorder(cfg))
+	return &ServeObserver{name: name, rec: rec}
+}
+
+// ReplaceServeObserver creates an observer and registers it under name,
+// replacing any previous registration — the explicit form of the swap
+// NewServeObserver used to do silently. The replaced observer's attached
+// Batchers keep recording into its (now unexported) recorder; detach
+// them with Observe(nil) or re-attach to the replacement.
+func ReplaceServeObserver(name string, cfg ServeObserverConfig) *ServeObserver {
+	rec := newServeRecorder(cfg)
+	obs.RegisterServe(name, rec)
+	return &ServeObserver{name: name, rec: rec}
+}
+
+func newServeRecorder(cfg ServeObserverConfig) *obs.ServeRecorder {
 	shift := uint(0)
 	every := false
 	switch {
@@ -56,14 +76,12 @@ func NewServeObserver(name string, cfg ServeObserverConfig) *ServeObserver {
 			shift++
 		}
 	}
-	rec := obs.NewServeRecorder(obs.ServeConfig{
+	return obs.NewServeRecorder(obs.ServeConfig{
 		SampleShift: shift,
 		Every:       every,
 		Window:      cfg.Window,
 		Tail:        cfg.Tail,
 	}, 0)
-	obs.RegisterServe(name, rec)
-	return &ServeObserver{name: name, rec: rec}
 }
 
 // Name returns the observer's registered exposition name.
@@ -103,6 +121,83 @@ func (bt *Batcher) Observe(o *ServeObserver) {
 	bt.b.Observe(o.rec)
 }
 
+// QueryJournalConfig tunes a QueryJournal. The zero value keeps 4096
+// events per serving strand.
+type QueryJournalConfig struct {
+	// PerStrand is each strand's ring capacity in wide events; newest
+	// traffic overwrites oldest. 0 selects 4096.
+	PerStrand int
+}
+
+// QueryJournal is the wide-event flight journal: one fixed-size
+// structured record per served query (batch and query ids, destination
+// leaf, descent depth, candidates scanned, balls reported, phase-split
+// latency for sampled queries) in a bounded per-strand ring. Attach it
+// to a Batcher with Journal; read it with Snapshot (non-consuming) or
+// Drain (consuming, with dropped-event accounting), or over HTTP via
+// the /journal endpoint of MetricsHandler. Emission costs the batch hot
+// path one ring write per query and one lock per 16-query chunk, with
+// zero steady-state allocations.
+type QueryJournal struct {
+	name string
+	j    *obs.Journal
+}
+
+// NewQueryJournal creates a journal and registers it under name on the
+// /journal endpoint. Like NewServeObserver, the first journal created
+// under a name owns the slot; a repeat returns a handle sharing the
+// incumbent's rings.
+func NewQueryJournal(name string, cfg QueryJournalConfig) *QueryJournal {
+	if j := obs.LookupJournal(name); j != nil {
+		return &QueryJournal{name: name, j: j}
+	}
+	j := obs.NewJournal(obs.JournalConfig{PerStrand: cfg.PerStrand}, 0)
+	obs.RegisterJournal(name, j)
+	return &QueryJournal{name: name, j: j}
+}
+
+// Name returns the journal's registered /journal name.
+func (qj *QueryJournal) Name() string { return qj.name }
+
+// Snapshot returns the currently retained events without consuming
+// them, ordered by (batch, query). Safe to call while Batchers serve.
+func (qj *QueryJournal) Snapshot() obs.JournalDrain {
+	if qj == nil {
+		return obs.JournalDrain{}
+	}
+	return qj.j.Snapshot()
+}
+
+// Drain returns every retained event not returned by a previous Drain;
+// events overwritten between drains are counted in the result's Dropped
+// field. Safe to call while Batchers serve.
+func (qj *QueryJournal) Drain() obs.JournalDrain {
+	if qj == nil {
+		return obs.JournalDrain{}
+	}
+	return qj.j.Drain()
+}
+
+// Close unregisters the journal from /journal. Attached Batchers keep
+// publishing into its rings harmlessly; detach with Journal(nil) first
+// if emission should stop.
+func (qj *QueryJournal) Close() {
+	if qj != nil {
+		obs.RegisterJournal(qj.name, nil)
+	}
+}
+
+// Journal attaches (or with nil detaches) a wide-event query journal.
+// Answers are unaffected and the zero-allocation steady state is
+// preserved. Not safe to call concurrently with Run.
+func (bt *Batcher) Journal(qj *QueryJournal) {
+	if qj == nil {
+		bt.b.Journal(nil)
+		return
+	}
+	bt.b.Journal(qj.j)
+}
+
 // MetricsHandler returns the observability endpoints:
 //
 //	/metrics — Prometheus text exposition (format 0.0.4): process-wide
@@ -111,6 +206,8 @@ func (bt *Batcher) Observe(o *ServeObserver) {
 //	           paper-invariant audit gauges.
 //	/statsz  — the same telemetry as JSON, including tail samples with
 //	           their descent paths.
+//	/journal — registered QueryJournals as JSON Lines (?name= filters,
+//	           ?drain=1 consumes).
 //
 // Mount it wherever the host process serves debug HTTP; cmd/knn mounts
 // it on -debug-addr.

@@ -181,8 +181,18 @@ type Batcher struct {
 // NewBatcher returns a Batcher with the given parallelism (0 selects
 // GOMAXPROCS). Strands beyond the caller's are scheduled on the shared
 // worker pool and degrade to inline execution under saturation.
+//
+// Like the build path, the Batcher honors the KNN_CHAOS environment
+// spec: the stall clause delays each strand before every chunk of
+// queries it claims, inflating per-batch latency without changing any
+// answer — the lever the flight-recorder integration tests pull. An
+// invalid spec is ignored here (construction already surfaces it).
 func (qs *QueryStructure) NewBatcher(workers int) *Batcher {
-	return &Batcher{qs: qs, b: septree.NewBatch(qs.frozen, workers)}
+	b := septree.NewBatch(qs.frozen, workers)
+	if inj, err := chaos.FromEnv(); err == nil && inj != nil {
+		b.Chaos(inj)
+	}
+	return &Batcher{qs: qs, b: b}
 }
 
 // SetBlockWidth sets the leaf-scan query-blocking width, clamped to

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Flight-recorder smoke: run the cmd/knn -flight serve loop under a
+# KNN_CHAOS stall profile so per-batch latency blows the SLO, then
+# assert the recorder captured a complete bundle (meta + journal JSONL +
+# tail + runtime snapshot + execution trace + CPU profile) and that
+# -verify-bundle accepts it. Exits nonzero if the SLO never trips, no
+# bundle appears, or the bundle is incomplete.
+set -euo pipefail
+
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+go build -o "$OUT/knn" ./cmd/knn
+
+KNN_CHAOS="stall=3ms" "$OUT/knn" \
+  -flight "$OUT/flight" -n 2000 -d 2 -k 3 -rnn 64 \
+  -flight-latency 4ms -flight-batches 150 \
+  | tee "$OUT/flight.log"
+
+grep -q "tripped" "$OUT/flight.log" || {
+  echo "flight-smoke: SLO never tripped" >&2
+  exit 1
+}
+
+bundles=("$OUT"/flight/bundle-*)
+if [ ! -d "${bundles[0]}" ]; then
+  echo "flight-smoke: no bundle under $OUT/flight" >&2
+  ls -la "$OUT/flight" >&2 || true
+  exit 1
+fi
+
+for b in "${bundles[@]}"; do
+  "$OUT/knn" -verify-bundle "$b"
+  for f in meta.json journal.jsonl tail.json runtime.json trace.out cpu.pprof; do
+    [ -s "$b/$f" ] || { echo "flight-smoke: $b/$f missing or empty" >&2; exit 1; }
+  done
+  # Every journal line must be standalone-parseable JSON.
+  python3 - "$b/journal.jsonl" <<'PY'
+import json, sys
+n = 0
+with open(sys.argv[1]) as fh:
+    for line in fh:
+        if line.strip():
+            json.loads(line)
+            n += 1
+if n == 0:
+    sys.exit("journal.jsonl has no events")
+print(f"flight-smoke: {sys.argv[1]}: {n} well-formed journal events")
+PY
+done
+
+echo "flight-smoke: ok (${#bundles[@]} bundle(s))"

@@ -56,5 +56,23 @@ cat "$OUT/audit.log"
 # The serving telemetry of the audit's own probe traffic must be there.
 "$OUT/promlint" -q -gauge 'sepdc_serve_audit_queries_total:1:1e18' "$OUT/metrics.txt"
 
+# The runtime bridge and SLO engine series must be exposed too: the
+# debug server starts a runtime/metrics sampler, and runAudit runs a
+# one-shot burn-rate evaluation over its probe-batch latency histogram.
+"$OUT/promlint" -q \
+  -gauge 'sepdc_runtime_goroutines:1:1e6' \
+  -gauge 'sepdc_runtime_heap_live_bytes:1:1e18' \
+  -gauge 'sepdc_runtime_gc_cycles:0:1e9' \
+  -gauge 'sepdc_slo_burn_fast:0:1e9' \
+  -gauge 'sepdc_slo_burn_slow:0:1e9' \
+  -gauge 'sepdc_slo_tripped:0:1' \
+  "$OUT/metrics.txt"
+
+# Scrape again and hold the exposition to the cross-scrape contract:
+# counters (including histogram buckets) must not decrease.
+sleep 2
+curl -fsS "http://$ADDR/metrics" -o "$OUT/metrics2.txt"
+"$OUT/promlint" -q -prev "$OUT/metrics.txt" "$OUT/metrics2.txt"
+
 kill "$KNN_PID" 2>/dev/null || true
 echo "metrics-audit: ok"
