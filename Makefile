@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 60s
 
-.PHONY: build vet test test-race race-batch metrics-audit flight-smoke bench bench-json bench-query bench-kernel verify fuzz chaos clean
+.PHONY: build vet test test-race race-batch race-serve metrics-audit flight-smoke serve-smoke bench bench-json bench-query bench-kernel bench-serve verify fuzz chaos clean
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,14 @@ bench-kernel:
 race-batch:
 	$(GO) test -race -run 'Batch|Batcher|CoveringBalls|QueryStructure|Serve|Journal|Flight|Burn|Trip' . ./internal/septree/ ./internal/obs/ ./internal/obs/slo/ ./internal/obs/flight/ ./internal/obs/runtimeobs/
 
+# Focused race gate over the serving front end: concurrent HTTP traffic
+# against the coalescer, repeated epoch/RCU snapshot swaps, telemetry
+# snapshots mid-flight, and the snapshot holder's release-ordering
+# tests. Also covered by test-race; its own target so a failure names
+# the subsystem.
+race-serve:
+	$(GO) test -race ./cmd/knnserve/ ./internal/snapshot/ ./internal/serveproto/
+
 # Scrape gate: serve a live -audit run's /metrics, then lint the
 # exposition and assert the paper-invariant gauges (what CI's
 # metrics-audit job runs).
@@ -62,12 +70,25 @@ metrics-audit:
 flight-smoke:
 	./scripts/flight_smoke.sh
 
+# Serving smoke: boot cmd/knnserve, replay golden-checked deterministic
+# knnload traffic (including a hot snapshot swap under load), and lint
+# the live /metrics exposition (what CI's serve-smoke job runs).
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# Record serving latency percentiles under saturation into the "serve"
+# section of BENCH_knn.json. Boots a local knnserve and drives it with
+# knnload at a fixed seed; other report sections are preserved.
+bench-serve:
+	./scripts/bench_serve.sh
+
 # Fuzz smoke: each target gets FUZZTIME (default 60s) of coverage-guided
 # input generation on top of the committed seed corpora in testdata/fuzz.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzBuildKNNGraph$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzSerializeRoundTrip$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzInsertSequence$$' -fuzztime $(FUZZTIME) ./internal/topk/
+	$(GO) test -run '^$$' -fuzz '^FuzzServeRequest$$' -fuzztime $(FUZZTIME) ./internal/serveproto/
 
 # Chaos matrix: the identity/degeneracy tests under every fault-injection
 # profile (see DESIGN.md §10). The graph is exact, so no profile may change

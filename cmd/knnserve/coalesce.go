@@ -1,0 +1,253 @@
+package main
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// The coalescer is the admission-control and batching layer between the
+// HTTP handlers and the zero-alloc batch engine. Each replica owns a
+// bounded queue of pending ops and one coalescer goroutine: the
+// goroutine blocks for the first op, then gathers more until either
+// maxBatch queries have accumulated or the batch deadline expires,
+// pins the current snapshot generation, runs one (or two — open and
+// closed queries cannot share a pass) Batcher passes, copies each op's
+// answers into op-owned arenas, and signals the waiting handlers.
+//
+// Design constraints, in the batch engine's own style:
+//
+//   - The steady state allocates nothing: ops are pooled by the HTTP
+//     layer, every per-pass slice on the replica is reused, result
+//     arenas grow once per op and are recycled with it, and the
+//     deadline timer is a single reused time.Timer.
+//     TestCoalescerSteadyStateAllocs holds the line.
+//
+//   - A pass pins exactly one generation: queries coalesced into one
+//     pass are all answered by the same snapshot, and the pin is held
+//     until their results have been copied out, so a concurrent swap
+//     can never release a snapshot mid-pass (the internal/snapshot
+//     contract) and every op reports the epoch that actually served it.
+//
+//   - Admission control is the bounded queue itself: a full queue
+//     rejects at the front door (HTTP 503) instead of growing an
+//     unbounded backlog, which is what keeps tail latency meaningful
+//     under saturation.
+
+// op is one pending request's unit of work: the queries to answer, and
+// op-owned result storage the coalescer fills before signalling done.
+// Ops are pooled and reused; all reference-holding fields are either
+// reset cheaply (slices re-sliced to zero length) or overwritten.
+type op struct {
+	queries [][]float64 // caller-owned; read only during the pass
+	closed  bool
+
+	res   [][]int // one row per query, views into arena
+	arena []int   // op-owned id storage, grows once per size class
+	epoch uint64  // generation ordinal that served the op
+	err   error
+
+	done chan struct{} // 1-buffered; reused across lives
+}
+
+func newOp() *op {
+	return &op{
+		arena: make([]int, 0, 64),
+		done:  make(chan struct{}, 1),
+	}
+}
+
+// replica is one serving strand: a bounded pending-op queue, a
+// coalescer goroutine, and per-pass scratch. The Batcher it runs on
+// lives in the pinned generation (one Batcher per replica per
+// generation — Batchers are single-goroutine engines, and the
+// coalescer goroutine is that goroutine).
+type replica struct {
+	srv *server
+	idx int
+
+	ch   chan *op
+	stop chan struct{}
+
+	// Per-pass scratch, reused: the ops gathered this round, the
+	// per-mode (open/closed) op groupings, and the query slice handed
+	// to the Batcher.
+	batch  []*op
+	groups [2][]*op
+	qbuf   [][]float64
+
+	timer *time.Timer
+
+	passes  atomic.Int64 // coalesced Batcher passes run
+	coalesc atomic.Int64 // ops that shared a pass with at least one other
+}
+
+func newReplica(s *server, idx int) *replica {
+	r := &replica{
+		srv:   s,
+		idx:   idx,
+		ch:    make(chan *op, s.cfg.queue),
+		stop:  make(chan struct{}),
+		batch: make([]*op, 0, 64),
+		qbuf:  make([][]float64, 0, s.cfg.maxBatch),
+		timer: time.NewTimer(time.Hour),
+	}
+	for i := range r.groups {
+		r.groups[i] = make([]*op, 0, 64)
+	}
+	if !r.timer.Stop() {
+		<-r.timer.C
+	}
+	return r
+}
+
+// submit offers an op to this replica's queue without blocking.
+func (r *replica) submit(o *op) bool {
+	select {
+	case r.ch <- o:
+		return true
+	default:
+		return false
+	}
+}
+
+// loop is the coalescer goroutine: gather, serve, repeat. On stop it
+// drains whatever is already queued (their handlers are waiting) and
+// returns.
+func (r *replica) loop() {
+	defer r.srv.wg.Done()
+	for {
+		var first *op
+		select {
+		case first = <-r.ch:
+		case <-r.stop:
+			r.drain()
+			return
+		}
+		r.batch = append(r.batch[:0], first)
+		nq := len(first.queries)
+
+		// Gather until the size cutover or the batch deadline. The
+		// deadline starts at first arrival — an op never waits longer
+		// than one deadline before its pass starts.
+		if nq < r.srv.cfg.maxBatch {
+			r.timer.Reset(r.srv.cfg.deadline)
+		gather:
+			for nq < r.srv.cfg.maxBatch {
+				select {
+				case o := <-r.ch:
+					r.batch = append(r.batch, o)
+					nq += len(o.queries)
+				case <-r.timer.C:
+					break gather
+				case <-r.stop:
+					break gather
+				}
+			}
+			if !r.timer.Stop() {
+				select {
+				case <-r.timer.C:
+				default:
+				}
+			}
+		}
+		r.serve(r.batch)
+	}
+}
+
+// drain serves every op still queued after stop, one final pass each
+// wave, so no handler is left waiting on a dead coalescer.
+func (r *replica) drain() {
+	for {
+		select {
+		case o := <-r.ch:
+			r.batch = append(r.batch[:0], o)
+			r.serve(r.batch)
+		default:
+			return
+		}
+	}
+}
+
+// serve answers one gathered batch against a single pinned snapshot
+// generation. Open and closed queries are partitioned into separate
+// Batcher passes (membership mode is a pass-level switch); both passes
+// run on the same pinned generation, so a mixed batch still reports one
+// epoch.
+func (r *replica) serve(batch []*op) {
+	pin := r.srv.snap.Acquire()
+	gen := pin.Value()
+	gen.inflight.Add(1)
+	bt := gen.batchers[r.idx]
+	coalesced := len(batch) > 1
+
+	// Partition once, before any op is signalled: the moment an op's
+	// done fires its handler may recycle it into the pool, so no field
+	// of a signalled op may be read again — not even the closed flag.
+	r.groups[0] = r.groups[0][:0]
+	r.groups[1] = r.groups[1][:0]
+	for _, o := range batch {
+		if o.closed {
+			r.groups[1] = append(r.groups[1], o)
+		} else {
+			r.groups[0] = append(r.groups[0], o)
+		}
+	}
+
+	for mode, group := range r.groups {
+		if len(group) == 0 {
+			continue
+		}
+		r.qbuf = r.qbuf[:0]
+		for _, o := range group {
+			r.qbuf = append(r.qbuf, o.queries...)
+		}
+		start := time.Now()
+		var err error
+		if mode == 1 {
+			err = bt.RunClosed(r.qbuf)
+		} else {
+			err = bt.Run(r.qbuf)
+		}
+		r.srv.passLat.Observe(time.Since(start).Nanoseconds())
+		r.passes.Add(1)
+
+		qi := 0
+		for _, o := range group {
+			o.epoch = gen.epoch
+			o.err = err
+			if coalesced {
+				r.coalesc.Add(1)
+			}
+			if err != nil {
+				// Validation failures are caught at decode; an error
+				// here fails the whole pass. Leave results empty.
+				o.res = o.res[:0]
+				o.done <- struct{}{}
+				continue
+			}
+			// Size the arena exactly before taking views: rows alias
+			// the arena, so it must not reallocate while rows are
+			// being appended.
+			total := 0
+			for j := range o.queries {
+				total += len(bt.Result(qi + j))
+			}
+			if cap(o.arena) < total {
+				o.arena = make([]int, 0, total)
+			} else {
+				o.arena = o.arena[:0]
+			}
+			o.res = o.res[:0]
+			for range o.queries {
+				ids := bt.Result(qi)
+				qi++
+				lo := len(o.arena)
+				o.arena = append(o.arena, ids...)
+				o.res = append(o.res, o.arena[lo:len(o.arena):len(o.arena)])
+			}
+			o.done <- struct{}{}
+		}
+	}
+	gen.inflight.Add(-1)
+	pin.Unpin()
+}

@@ -82,6 +82,21 @@ func (fr *FlightRecorder) WatchBatcher(name string, bt *Batcher, qj *QueryJourna
 	if fr == nil || bt == nil {
 		return fmt.Errorf("sepdc: WatchBatcher needs a recorder and a Batcher")
 	}
+	return fr.Watch(name, func() obs.Hist { return bt.b.Stats().Latency }, qj, o)
+}
+
+// Watch is the source-agnostic form of WatchBatcher: latency supplies
+// the cumulative per-pass latency histogram the SLO burns against.
+// Serving processes whose engines come and go — cmd/knnserve swaps
+// Batchers with every snapshot generation — feed a stable process-level
+// histogram here instead of binding the recorder to one Batcher's
+// lifetime. The read contract is the source's own: an AtomicHist-backed
+// source may be evaluated concurrently with serving, a Batcher-backed
+// one only between Runs. Call once, before Evaluate.
+func (fr *FlightRecorder) Watch(name string, latency func() obs.Hist, qj *QueryJournal, o *ServeObserver) error {
+	if fr == nil || latency == nil {
+		return fmt.Errorf("sepdc: Watch needs a recorder and a latency source")
+	}
 	threshold := fr.cfg.LatencyObjective
 	if threshold <= 0 {
 		threshold = 100 * time.Millisecond
@@ -102,7 +117,7 @@ func (fr *FlightRecorder) WatchBatcher(name string, bt *Batcher, qj *QueryJourna
 	}, src)
 	ev, err := slo.New([]slo.Objective{{
 		Name:       name,
-		Source:     slo.HistSource(func() obs.Hist { return bt.b.Stats().Latency }, threshold.Nanoseconds()),
+		Source:     slo.HistSource(latency, threshold.Nanoseconds()),
 		Target:     fr.cfg.Target,
 		FastWindow: fr.cfg.FastWindow,
 		SlowWindow: fr.cfg.SlowWindow,

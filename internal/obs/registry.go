@@ -63,6 +63,19 @@ func RegisterServeIfAbsent(name string, r *ServeRecorder) (owner *ServeRecorder,
 	return r, true
 }
 
+// UnregisterServe removes name's registration only when r still owns
+// the slot. This is the safe teardown for replaceable observers: after
+// a hot swap re-registers name via RegisterServe, the replaced
+// observer's deferred close must become a no-op instead of silently
+// dropping the replacement's live exposition slot.
+func UnregisterServe(name string, r *ServeRecorder) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if cur, ok := reg.serves[name]; ok && cur == r {
+		delete(reg.serves, name)
+	}
+}
+
 // LookupServe returns the recorder registered under name, or nil.
 func LookupServe(name string) *ServeRecorder {
 	reg.mu.Lock()
@@ -80,6 +93,16 @@ func RegisterJournal(name string, j *Journal) {
 		return
 	}
 	reg.journals[name] = j
+}
+
+// UnregisterJournal removes name's registration only when j still owns
+// the slot — the journal counterpart of UnregisterServe.
+func UnregisterJournal(name string, j *Journal) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if cur, ok := reg.journals[name]; ok && cur == j {
+		delete(reg.journals, name)
+	}
 }
 
 // LookupJournal returns the journal registered under name, or nil.

@@ -1,0 +1,61 @@
+package serveproto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzServeRequest holds the hardened-decode line on the serving trust
+// boundary: arbitrary bytes must either decode cleanly or fail with one
+// of the package's typed errors — never panic, never allocate
+// attacker-controlled amounts. A successful decode must canonicalize:
+// re-encoding the decoded request reproduces the input byte for byte
+// (the frame has no redundancy, so decode∘encode is the identity on
+// valid frames). The same bytes are also thrown at DecodeResponse,
+// which shares the no-panic obligation — the load generator feeds it
+// network input.
+func FuzzServeRequest(f *testing.F) {
+	f.Add(AppendRequest(nil, sampleQueries(), 3, false))
+	f.Add(AppendRequest(nil, sampleQueries(), 3, true))
+	f.Add(AppendRequest(nil, [][]float64{{0.5}}, 1, false))
+	f.Add(AppendRequest(nil, nil, 2, false))
+	f.Add(AppendRequest(nil, [][]float64{{1, 2, 3, 4, 5, 6, 7, 8}}, 8, true))
+	f.Add([]byte(reqMagic))
+	f.Add([]byte{})
+	f.Add(AppendResponse(nil, 3, false, 2, func(i int) []int { return []int{i, i + 2} }))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		err := DecodeRequestInto(data, &req)
+		if err != nil {
+			for _, sentinel := range []error{
+				ErrTruncated, ErrBadMagic, ErrVersion, ErrBadFlags,
+				ErrBounds, ErrTrailing, ErrNonFinite, ErrCorrupt,
+			} {
+				if errors.Is(err, sentinel) {
+					return
+				}
+			}
+			t.Fatalf("untyped decode error: %v", err)
+		}
+		if len(req.Queries) > 0 && len(req.Queries[0]) != req.Dim {
+			t.Fatalf("decoded row width %d != dim %d", len(req.Queries[0]), req.Dim)
+		}
+		re := AppendRequest(nil, req.Queries, req.Dim, req.Closed)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical:\n in  % x\n out % x", data, re)
+		}
+
+		// The response decoder shares the no-panic obligation.
+		if resp, rerr := DecodeResponse(data); rerr == nil {
+			total := 0
+			for _, row := range resp.Rows {
+				total += len(row)
+			}
+			if total > MaxIDs {
+				t.Fatalf("response decode exceeded id bound: %d", total)
+			}
+		}
+	})
+}

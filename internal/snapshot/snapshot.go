@@ -1,0 +1,126 @@
+// Package snapshot is an epoch-pinned (RCU-style) holder for immutable
+// serving snapshots. A Holder publishes one current value; readers pin
+// it for the duration of a serving pass and unpin when done; a writer
+// swaps in a replacement at any time without blocking readers. The
+// replaced value is released — its release callback invoked exactly
+// once — only after the last reader that pinned it unpins, so a query
+// mid-flight on the old snapshot always finishes against consistent
+// data and rebuilds never stall serving.
+//
+// This is the serving architecture the separator math asks for:
+// Bhattiprolu–Har-Peled's localized re-separation result (PAPERS.md)
+// makes rebuild-and-swap cheap relative to in-place mutation of the
+// frozen layout, and the flat SoA Frozen is immutable by construction,
+// so "replace the whole snapshot atomically" is both principled and
+// free of read-path synchronization beyond one atomic increment.
+//
+// Concurrency contract:
+//
+//   - Acquire/Unpin are safe from any number of goroutines and never
+//     block. The steady-state cost is one atomic CAS to pin and one
+//     atomic decrement to unpin; neither allocates.
+//   - Swap is safe concurrently with readers and other swappers.
+//   - A reader that loaded the previous value just before a Swap may
+//     still pin it (the linearization point is the pin, not the load);
+//     it holds the old epoch's data alive until it unpins. That is the
+//     RCU grace period, not a stale-read bug: release strictly follows
+//     the last unpin.
+package snapshot
+
+import "sync/atomic"
+
+// Pin is a pinned reference to one published value. Value is valid —
+// and its release callback is guaranteed not to have run — until Unpin.
+type Pin[T any] struct {
+	val     T
+	refs    atomic.Int64 // publisher holds 1; each pinned reader 1
+	release func(T)
+}
+
+// Value returns the pinned snapshot value.
+func (p *Pin[T]) Value() T { return p.val }
+
+// Unpin drops the reference. The last drop (reader or publisher,
+// whichever comes final) runs the release callback exactly once. A Pin
+// must be unpinned exactly once; Unpin is not idempotent.
+func (p *Pin[T]) Unpin() {
+	if p.refs.Add(-1) == 0 && p.release != nil {
+		p.release(p.val)
+	}
+}
+
+// tryPin takes a reference unless the entry is already fully released
+// (refcount zero). The CAS loop refuses to revive a dead entry, which
+// is what makes the load-then-pin race with Swap safe: a reader that
+// lost the race observes the failed pin and retries on the new current.
+func (p *Pin[T]) tryPin() bool {
+	for {
+		r := p.refs.Load()
+		if r == 0 {
+			return false
+		}
+		if p.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// Holder publishes one current value of T. The zero Holder is not
+// ready; construct with New.
+type Holder[T any] struct {
+	cur   atomic.Pointer[Pin[T]]
+	epoch atomic.Uint64 // completed swaps; first published value is epoch 0
+}
+
+// New returns a holder publishing v at epoch 0. release (may be nil)
+// runs exactly once, after the last reader of v unpins following the
+// swap that replaces it (or never, if v is never replaced and the
+// holder's publisher reference is never dropped by Close).
+func New[T any](v T, release func(T)) *Holder[T] {
+	h := &Holder[T]{}
+	e := &Pin[T]{val: v, release: release}
+	e.refs.Store(1)
+	h.cur.Store(e)
+	return h
+}
+
+// Acquire pins the current value and returns the pin. Never blocks and
+// never returns nil; steady state performs zero allocations.
+func (h *Holder[T]) Acquire() *Pin[T] {
+	for {
+		e := h.cur.Load()
+		if e.tryPin() {
+			return e
+		}
+		// The entry was swapped out and fully drained between our load
+		// and pin attempt; the current pointer has necessarily moved on.
+	}
+}
+
+// Swap publishes v as the new current value and drops the publisher
+// reference on the old one: the old value's release callback fires as
+// soon as its last pinned reader unpins (immediately, if none are in
+// flight). Safe concurrently with Acquire/Unpin and other Swaps.
+func (h *Holder[T]) Swap(v T, release func(T)) {
+	e := &Pin[T]{val: v, release: release}
+	e.refs.Store(1)
+	old := h.cur.Swap(e)
+	h.epoch.Add(1)
+	old.Unpin()
+}
+
+// Epoch returns the number of completed swaps: 0 until the first Swap,
+// then monotonically increasing. Readers wanting the epoch of the data
+// they hold should carry it inside T rather than re-reading Epoch,
+// which may already reflect a newer publish.
+func (h *Holder[T]) Epoch() uint64 { return h.epoch.Load() }
+
+// Close drops the publisher reference on the current value so its
+// release callback can fire once readers drain. The holder must not be
+// used after Close.
+func (h *Holder[T]) Close() {
+	if e := h.cur.Load(); e != nil {
+		h.cur.Store(nil)
+		e.Unpin()
+	}
+}

@@ -1,0 +1,149 @@
+package snapshot
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// genState is the instrumented snapshot value the tests publish: it
+// counts readers actively inside a pinned section and records whether
+// (and how often) its release callback ran, so the tests can assert
+// the RCU contract — release strictly after the last unpin, exactly
+// once — rather than just the absence of crashes.
+type genState struct {
+	id       int
+	active   atomic.Int64
+	released atomic.Int64
+}
+
+func releaseChecked(t *testing.T) func(*genState) {
+	return func(g *genState) {
+		if n := g.active.Load(); n != 0 {
+			t.Errorf("gen %d released with %d readers still pinned", g.id, n)
+		}
+		if g.released.Add(1) != 1 {
+			t.Errorf("gen %d released more than once", g.id)
+		}
+	}
+}
+
+func TestReleaseWaitsForLastReader(t *testing.T) {
+	g0 := &genState{id: 0}
+	h := New(g0, releaseChecked(t))
+
+	pin := h.Acquire()
+	if pin.Value() != g0 {
+		t.Fatalf("Acquire returned wrong value")
+	}
+
+	g1 := &genState{id: 1}
+	h.Swap(g1, releaseChecked(t))
+	if got := g0.released.Load(); got != 0 {
+		t.Fatalf("old snapshot released while a reader still holds a pin")
+	}
+	if e := h.Epoch(); e != 1 {
+		t.Fatalf("Epoch after one swap = %d, want 1", e)
+	}
+
+	// New readers land on the new value while the old pin is live.
+	pin2 := h.Acquire()
+	if pin2.Value() != g1 {
+		t.Fatalf("Acquire after swap returned the old value")
+	}
+	pin2.Unpin()
+	if got := g1.released.Load(); got != 0 {
+		t.Fatalf("current snapshot released while still published")
+	}
+
+	pin.Unpin()
+	if got := g0.released.Load(); got != 1 {
+		t.Fatalf("old snapshot released %d times after last unpin, want 1", got)
+	}
+}
+
+func TestSwapWithNoReadersReleasesImmediately(t *testing.T) {
+	g0 := &genState{id: 0}
+	h := New(g0, releaseChecked(t))
+	h.Swap(&genState{id: 1}, releaseChecked(t))
+	if got := g0.released.Load(); got != 1 {
+		t.Fatalf("idle old snapshot released %d times at swap, want 1", got)
+	}
+}
+
+func TestCloseReleasesCurrent(t *testing.T) {
+	g0 := &genState{id: 0}
+	h := New(g0, releaseChecked(t))
+	h.Close()
+	if got := g0.released.Load(); got != 1 {
+		t.Fatalf("Close released current %d times, want 1", got)
+	}
+}
+
+// TestRaceSwapVsReaders is the stale-epoch hammer: many readers pin,
+// mark themselves active inside the value, and verify the value has not
+// been released out from under them, while a writer swaps generations
+// as fast as it can. Run under -race this doubles as the memory-model
+// check; the instrumented release callbacks assert ordering either way.
+func TestRaceSwapVsReaders(t *testing.T) {
+	const (
+		readers = 8
+		swaps   = 200
+		reads   = 2000
+	)
+	h := New(&genState{id: 0}, releaseChecked(t))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				pin := h.Acquire()
+				g := pin.Value()
+				g.active.Add(1)
+				if g.released.Load() != 0 {
+					t.Errorf("reader pinned gen %d after its release", g.id)
+				}
+				g.active.Add(-1)
+				pin.Unpin()
+			}
+		}()
+	}
+
+	last := &genState{id: swaps}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= swaps; i++ {
+			g := &genState{id: i}
+			if i == swaps {
+				g = last
+			}
+			h.Swap(g, releaseChecked(t))
+		}
+		close(stop)
+	}()
+
+	<-stop
+	wg.Wait()
+	if e := h.Epoch(); e != swaps {
+		t.Fatalf("Epoch = %d after %d swaps", e, swaps)
+	}
+	if last.released.Load() != 0 {
+		t.Fatalf("final generation released while still published")
+	}
+}
+
+func TestAcquireUnpinNoAllocs(t *testing.T) {
+	h := New(&genState{id: 0}, nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		pin := h.Acquire()
+		_ = pin.Value()
+		pin.Unpin()
+	})
+	if allocs != 0 {
+		t.Fatalf("Acquire/Unpin allocates %.1f per op, want 0", allocs)
+	}
+}

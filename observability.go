@@ -99,12 +99,16 @@ func (o *ServeObserver) Snapshot() *obs.ServeSnapshot {
 	return o.rec.Snapshot()
 }
 
-// Close unregisters the observer from /metrics. Attached Batchers keep
-// recording into it harmlessly; detach them with Observe(nil) first if
-// the recorder should stop accumulating.
+// Close unregisters the observer from /metrics — but only if it still
+// owns its name's exposition slot. An observer that has been superseded
+// by ReplaceServeObserver closes as a no-op, so the hot-swap pattern
+// (register replacement, drain old snapshot, close old observer) never
+// drops the replacement's live registration. Attached Batchers keep
+// recording into the closed recorder harmlessly; detach them with
+// Observe(nil) first if the recorder should stop accumulating.
 func (o *ServeObserver) Close() {
 	if o != nil {
-		obs.RegisterServe(o.name, nil)
+		obs.UnregisterServe(o.name, o.rec)
 	}
 }
 
@@ -178,12 +182,13 @@ func (qj *QueryJournal) Drain() obs.JournalDrain {
 	return qj.j.Drain()
 }
 
-// Close unregisters the journal from /journal. Attached Batchers keep
-// publishing into its rings harmlessly; detach with Journal(nil) first
-// if emission should stop.
+// Close unregisters the journal from /journal — only if it still owns
+// its name's slot, mirroring ServeObserver.Close's replace-safe
+// semantics. Attached Batchers keep publishing into its rings
+// harmlessly; detach with Journal(nil) first if emission should stop.
 func (qj *QueryJournal) Close() {
 	if qj != nil {
-		obs.RegisterJournal(qj.name, nil)
+		obs.UnregisterJournal(qj.name, qj.j)
 	}
 }
 

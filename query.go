@@ -216,6 +216,19 @@ func (bt *Batcher) Run(queries [][]float64) error {
 	return nil
 }
 
+// RunClosed is Run with closed-ball membership (a point on a ball's
+// boundary counts as covered — Tree.QueryClosed semantics). The serving
+// front end maps the wire format's closed flag here.
+func (bt *Batcher) RunClosed(queries [][]float64) error {
+	for i, q := range queries {
+		if err := bt.qs.validateQuery(q); err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	bt.b.RunClosed(queries)
+	return nil
+}
+
 // Len returns the number of queries answered by the last Run.
 func (bt *Batcher) Len() int { return bt.b.Len() }
 

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Serving-latency bench: boot cmd/knnserve on a local port and drive it
+# to saturation with cmd/knnload at a fixed seed, recording per-request
+# p50/p99/p999 for every traffic shape (uniform, hot-leaf skew, mixed,
+# swap-during-load) into the "serve" section of BENCH_knn.json. All
+# other report sections are preserved verbatim.
+set -euo pipefail
+
+ADDR="${ADDR:-127.0.0.1:18437}"
+BENCH="${BENCH:-BENCH_knn.json}"
+N="${N:-20000}" D="${D:-2}" K="${K:-3}" SEED="${SEED:-7}"
+CONNS="${CONNS:-16}" REQUESTS="${REQUESTS:-300}" BATCH="${BATCH:-32}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"; kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+go build -o "$OUT/knnserve" ./cmd/knnserve
+go build -o "$OUT/knnload" ./cmd/knnload
+
+"$OUT/knnserve" -addr "$ADDR" -n "$N" -d "$D" -k "$K" -seed "$SEED" \
+  >"$OUT/serve.log" 2>&1 &
+SERVE_PID=$!
+
+for _ in $(seq 1 120); do
+  curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "bench-serve: knnserve exited before serving" >&2
+    cat "$OUT/serve.log" >&2
+    exit 1
+  fi
+  sleep 1
+done
+
+# Saturation run: more connections than replicas, large batches, golden
+# checking off (the checker would rate-limit the client side; the
+# correctness gate is serve-smoke).
+"$OUT/knnload" -addr "$ADDR" -n "$N" -d "$D" -k "$K" -seed "$SEED" \
+  -shapes uniform,hot,mixed,swap -conns "$CONNS" -requests "$REQUESTS" \
+  -batch "$BATCH" -swap-every 200 -bench "$BENCH" >/dev/null
+
+kill "$SERVE_PID" 2>/dev/null || true
+echo "bench-serve: serve section written to $BENCH"
