@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 60s
 
-.PHONY: build vet test test-race race-batch race-serve metrics-audit flight-smoke serve-smoke bench bench-json bench-query bench-kernel bench-serve verify fuzz chaos clean
+.PHONY: build vet test test-race race-batch race-serve metrics-audit flight-smoke serve-smoke bench bench-json bench-query bench-kernel bench-serve kernels-matrix verify fuzz chaos clean
 
 build:
 	$(GO) build ./...
@@ -35,12 +35,27 @@ bench-query:
 	$(GO) test -run '^$$' -bench 'CoveringBalls|NeighborsBatch' -benchmem .
 
 # Distance-kernel benchmarks: the d=2..8 dispatch table (unrolled
-# single-pair and four-point forms) against the generic fallback. CI
-# runs these at -benchtime=1x and diffs against
-# testdata/bench-kernel-baseline.txt with benchstat when available
-# (informational smoke, not a gate).
+# single-pair and four-point forms, plus the AVX2 assembly eight-lane
+# batch and strided forms on CPUs that have them) against the generic
+# fallback. CI runs these at -benchtime=1x and diffs against
+# testdata/bench-kernel-baseline.txt — deliberately the PR-6 record,
+# taken before the assembly tier existed, so on an AVX2 host the
+# benchstat delta reads as asm's gain over the unrolled kernels —
+# with benchstat when available (informational smoke, not a gate).
 bench-kernel:
-	$(GO) test -run '^$$' -bench 'Dist2Kernel|Dist2Generic|Dist2Batch4|DotKernel' -benchmem ./internal/vec/
+	$(GO) test -run '^$$' -bench 'Dist2Kernel|Dist2Generic|Dist2Batch4|Dist2Batch8|Dist2Strided8|DotKernel' -benchmem ./internal/vec/
+
+# Kernel-dispatch matrix: the packages that exercise distance
+# arithmetic, end to end under each KNN_KERNELS tier (answers must be
+# identical — the asm leg degrades to unrolled on CPUs without AVX2),
+# plus a purego no-assembly build-and-test leg and a non-amd64
+# cross-compile of the stub path (what CI's kernels-matrix job runs).
+kernels-matrix:
+	KNN_KERNELS=generic $(GO) test -count=1 . ./internal/vec/ ./internal/septree/
+	KNN_KERNELS=asm $(GO) test -count=1 . ./internal/vec/ ./internal/septree/
+	$(GO) build -tags purego ./...
+	$(GO) test -tags purego -count=1 ./internal/vec/ ./internal/septree/ ./internal/cpufeat/
+	GOOS=linux GOARCH=arm64 $(GO) build ./...
 
 # Focused race gate over the batched query-serving paths and the
 # serving telemetry they feed (concurrent Snapshot during recording,
@@ -89,6 +104,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzSerializeRoundTrip$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzInsertSequence$$' -fuzztime $(FUZZTIME) ./internal/topk/
 	$(GO) test -run '^$$' -fuzz '^FuzzServeRequest$$' -fuzztime $(FUZZTIME) ./internal/serveproto/
+	$(GO) test -run '^$$' -fuzz '^FuzzKernelParity$$' -fuzztime $(FUZZTIME) ./internal/vec/
 
 # Chaos matrix: the identity/degeneracy tests under every fault-injection
 # profile (see DESIGN.md §10). The graph is exact, so no profile may change

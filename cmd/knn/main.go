@@ -66,6 +66,13 @@ func run() error {
 		return verifyBundle(*verifyBundleDir)
 	}
 
+	// Say which distance-kernel tier dispatch resolved (and publish it
+	// on /statsz), so a run can confirm the assembly kernels engaged.
+	tier, cpu := sepdc.KernelInfo()
+	obs.SetInfo("kernel_tier", tier)
+	obs.SetInfo("cpu_features", cpu)
+	fmt.Printf("kernels: tier=%s cpu=%s\n", tier, cpu)
+
 	if *debugAddr != "" {
 		obs.EnableGlobal()
 		obs.PublishExpvar()

@@ -18,9 +18,10 @@ import (
 // KernelResult is one dimension's distance-kernel micro-measurement:
 // the generic fallback (Dist2Flat through an indirect call — the path
 // every d >= 4 call site ran before the dispatch table was widened),
-// the unrolled single-pair kernel, and the four-point kernel, all on
-// the same operand stream. Batch4Ns is normalized per distance (one
-// call produces four).
+// the unrolled single-pair kernel, the unrolled four-point kernel, and
+// (on CPUs with the assembly tier) the AVX2 batch forms, all on the
+// same operand stream. Batch columns are normalized per distance (one
+// call produces four or eight).
 type KernelResult struct {
 	D               int     `json:"d"`
 	GenericNs       float64 `json:"generic_ns_per_dist"`
@@ -28,6 +29,17 @@ type KernelResult struct {
 	Batch4Ns        float64 `json:"batch4_ns_per_dist"`
 	UnrolledSpeedup float64 `json:"unrolled_speedup"`
 	Batch4Speedup   float64 `json:"batch4_speedup"`
+	// The assembly tier's three batch forms (d = 2..8, AVX2 hosts
+	// only): the four-lane form, the eight-lane pointer-vector form the
+	// query-blocked scan feeds, and the eight-record strided form the
+	// sequential leaf scan feeds. AsmNs is the best of the three;
+	// AsmSpeedup compares it against Batch4Ns — the PR-6 unrolled batch
+	// kernel, i.e. the previous best per-distance path.
+	AsmBatch4Ns   float64 `json:"asm_batch4_ns_per_dist,omitempty"`
+	AsmBatch8Ns   float64 `json:"asm_batch8_ns_per_dist,omitempty"`
+	AsmStrided8Ns float64 `json:"asm_strided8_ns_per_dist,omitempty"`
+	AsmNs         float64 `json:"asm_ns_per_dist,omitempty"`
+	AsmSpeedup    float64 `json:"asm_speedup,omitempty"`
 }
 
 // LayoutResult is one dimension's whole-path serving comparison:
@@ -94,10 +106,13 @@ func kernelPoints(d, n int) [][]float64 {
 	return pts
 }
 
-// runKernelBench measures the three kernel forms per dimension with the
-// same interleaved-minimum protocol as the serving benchmarks: rounds
-// of (generic, unrolled, batch4) passes over one operand table, each
-// form keeping its fastest pass.
+// runKernelBench measures the kernel forms per dimension with the same
+// interleaved-minimum protocol as the serving benchmarks: rounds of
+// (generic, unrolled, batch4, asm forms) passes over one operand
+// table, each form keeping its fastest pass. The unrolled and asm
+// kernels are captured under explicitly pinned dispatch tiers so the
+// columns measure what they claim regardless of KNN_KERNELS or the
+// default tier.
 func runKernelBench(dims []int) []KernelResult {
 	const (
 		tablePts  = 512
@@ -108,9 +123,29 @@ func runKernelBench(dims []int) []KernelResult {
 	sink := 0.0
 	for _, d := range dims {
 		pts := kernelPoints(d, tablePts)
+		// The strided table mirrors the frozen leaf records: stride d+1
+		// (center ‖ r²), one record per table point.
+		stride := d + 1
+		recs := make([]float64, tablePts*stride)
+		for i, p := range pts {
+			copy(recs[i*stride:], p)
+			recs[i*stride+d] = 1.0
+		}
 		generic := vec.Dist2Func(vec.Dist2Flat)
+		prev := vec.SetActiveTier(vec.TierUnrolled)
 		unrolled := vec.Dist2Kernel(d)
 		batch4 := vec.Dist2Batch4Kernel(d)
+		var asmB4 vec.Dist2Batch4Func
+		var asmB8 vec.Dist2Batch8Func
+		var asmS8 vec.Dist2Strided8Func
+		if vec.SetActiveTier(vec.TierAsm); vec.ActiveTier() == vec.TierAsm {
+			asmB8 = vec.Dist2Batch8Kernel(d)
+			asmS8 = vec.Dist2Strided8Kernel(d)
+			if asmB8 != nil { // asm covers d = 2..8; outside, all forms are nil
+				asmB4 = vec.Dist2Batch4Kernel(d)
+			}
+		}
+		vec.SetActiveTier(prev)
 		pass1 := func(kern vec.Dist2Func) time.Duration {
 			start := time.Now()
 			for i := 0; i < passDists; i++ {
@@ -118,29 +153,63 @@ func runKernelBench(dims []int) []KernelResult {
 			}
 			return time.Since(start)
 		}
-		pass4 := func() time.Duration {
+		pass4 := func(kern vec.Dist2Batch4Func) time.Duration {
 			start := time.Now()
 			for i := 0; i < passDists/4; i++ {
-				da, db, dc, dd := batch4(pts[i&(tablePts-1)], pts[(i+1)&(tablePts-1)],
+				da, db, dc, dd := kern(pts[i&(tablePts-1)], pts[(i+1)&(tablePts-1)],
 					pts[(i+2)&(tablePts-1)], pts[(i+3)&(tablePts-1)], pts[(i+4)&(tablePts-1)])
 				sink += da + db + dc + dd
 			}
 			return time.Since(start)
 		}
-		best := [3]time.Duration{1<<63 - 1, 1<<63 - 1, 1<<63 - 1}
+		pass8 := func() time.Duration {
+			start := time.Now()
+			for i := 0; i < passDists/8; i++ {
+				r := i & (tablePts - 9)
+				d0, d1, d2, d3, d4, d5, d6, d7 := asmB8(pts[r], pts[r+1:])
+				sink += d0 + d1 + d2 + d3 + d4 + d5 + d6 + d7
+			}
+			return time.Since(start)
+		}
+		passS8 := func() time.Duration {
+			start := time.Now()
+			for i := 0; i < passDists/8; i++ {
+				r := i & (tablePts - 9)
+				d0, d1, d2, d3, d4, d5, d6, d7 := asmS8(pts[r], recs[r*stride:], stride)
+				sink += d0 + d1 + d2 + d3 + d4 + d5 + d6 + d7
+			}
+			return time.Since(start)
+		}
+		// One named pass per form; absent asm forms simply don't run.
+		type form struct {
+			run  func() time.Duration
+			best time.Duration
+		}
+		forms := []*form{
+			{run: func() time.Duration { return pass1(generic) }},
+			{run: func() time.Duration { return pass1(unrolled) }},
+			{run: func() time.Duration { return pass4(batch4) }},
+		}
+		const iGeneric, iUnrolled, iBatch4 = 0, 1, 2
+		iAsmB4, iAsmB8, iAsmS8 := -1, -1, -1
+		if asmB4 != nil {
+			iAsmB4 = len(forms)
+			forms = append(forms, &form{run: func() time.Duration { return pass4(asmB4) }})
+			iAsmB8 = len(forms)
+			forms = append(forms, &form{run: pass8})
+			iAsmS8 = len(forms)
+			forms = append(forms, &form{run: passS8})
+		}
 		// One warm round off the clock, then interleave.
-		pass1(generic)
-		pass1(unrolled)
-		pass4()
+		for _, f := range forms {
+			f.best = 1<<63 - 1
+			f.run()
+		}
 		for r := 0; r < rounds; r++ {
-			if el := pass1(generic); el < best[0] {
-				best[0] = el
-			}
-			if el := pass1(unrolled); el < best[1] {
-				best[1] = el
-			}
-			if el := pass4(); el < best[2] {
-				best[2] = el
+			for _, f := range forms {
+				if el := f.run(); el < f.best {
+					f.best = el
+				}
 			}
 		}
 		perDist := func(el time.Duration) float64 {
@@ -148,9 +217,9 @@ func runKernelBench(dims []int) []KernelResult {
 		}
 		r := KernelResult{
 			D:          d,
-			GenericNs:  perDist(best[0]),
-			UnrolledNs: perDist(best[1]),
-			Batch4Ns:   perDist(best[2]),
+			GenericNs:  perDist(forms[iGeneric].best),
+			UnrolledNs: perDist(forms[iUnrolled].best),
+			Batch4Ns:   perDist(forms[iBatch4].best),
 		}
 		if r.UnrolledNs > 0 {
 			r.UnrolledSpeedup = r.GenericNs / r.UnrolledNs
@@ -158,8 +227,28 @@ func runKernelBench(dims []int) []KernelResult {
 		if r.Batch4Ns > 0 {
 			r.Batch4Speedup = r.GenericNs / r.Batch4Ns
 		}
-		fmt.Fprintf(os.Stderr, "kernel d=%d  generic %.2f ns  unrolled %.2f ns (%.2fx)  batch4 %.2f ns/dist (%.2fx)\n",
+		if iAsmB4 >= 0 {
+			r.AsmBatch4Ns = perDist(forms[iAsmB4].best)
+			r.AsmBatch8Ns = perDist(forms[iAsmB8].best)
+			r.AsmStrided8Ns = perDist(forms[iAsmS8].best)
+			r.AsmNs = r.AsmBatch4Ns
+			if r.AsmBatch8Ns < r.AsmNs {
+				r.AsmNs = r.AsmBatch8Ns
+			}
+			if r.AsmStrided8Ns < r.AsmNs {
+				r.AsmNs = r.AsmStrided8Ns
+			}
+			if r.AsmNs > 0 {
+				r.AsmSpeedup = r.Batch4Ns / r.AsmNs
+			}
+		}
+		fmt.Fprintf(os.Stderr, "kernel d=%d  generic %.2f ns  unrolled %.2f ns (%.2fx)  batch4 %.2f ns/dist (%.2fx)",
 			d, r.GenericNs, r.UnrolledNs, r.UnrolledSpeedup, r.Batch4Ns, r.Batch4Speedup)
+		if iAsmB4 >= 0 {
+			fmt.Fprintf(os.Stderr, "  asm b4/b8/s8 %.2f/%.2f/%.2f ns/dist (%.2fx)",
+				r.AsmBatch4Ns, r.AsmBatch8Ns, r.AsmStrided8Ns, r.AsmSpeedup)
+		}
+		fmt.Fprintln(os.Stderr)
 		out = append(out, r)
 	}
 	if sink == 0 {
@@ -253,12 +342,14 @@ func layoutN(d int) int {
 // layoutBlockWidth is the opt-mode query-block width for one dimension:
 // the engine's own configuration choice. d=2/3 keep the default
 // unblocked strand (their specialized whole-path scans leave nothing
-// for blocking to amortize); d >= 4 use the full width 8.
+// for blocking to amortize); d >= 4 use the full width 16 — two
+// eight-lane assembly passes (or four four-wide Go passes) per
+// candidate group.
 func layoutBlockWidth(d int) int {
 	if d <= 3 {
 		return 1
 	}
-	return 8
+	return 16
 }
 
 // runLayoutBench measures ref vs opt serving per dimension over the

@@ -53,6 +53,12 @@ type Env struct {
 	GOARCH     string `json:"goarch"`
 	CPUModel   string `json:"cpu_model,omitempty"`
 	GitCommit  string `json:"git_commit,omitempty"`
+	// CPUFeatures and KernelTier pin which distance-kernel dispatch the
+	// numbers were taken under: the detected vector features
+	// ("avx,avx2,fma,..." or "none") and the tier the process resolved
+	// ("asm", "unrolled", or "generic" — KNN_KERNELS overrides).
+	CPUFeatures string `json:"cpu_features,omitempty"`
+	KernelTier  string `json:"kernel_tier,omitempty"`
 }
 
 // Report is the whole BENCH_knn.json document.
@@ -103,6 +109,7 @@ func captureEnv() Env {
 			env.GitCommit = strings.TrimSpace(string(out))
 		}
 	}
+	env.KernelTier, env.CPUFeatures = sepdc.KernelInfo()
 	return env
 }
 
@@ -225,6 +232,44 @@ func remeasureObs(path string, queries, queryIters int) error {
 	return os.WriteFile(path, append(enc, '\n'), 0o644)
 }
 
+// remeasureKernels re-runs only the dims-driven sections — kernels and
+// layout — and merges them into the existing report at path, refreshing
+// the env header (the kernel columns are meaningless without knowing
+// which tier and CPU produced them). Every other section is preserved
+// verbatim.
+func remeasureKernels(path string, dims []int) error {
+	if path == "-" {
+		return fmt.Errorf("-only kernels needs a real -out file to merge into")
+	}
+	if len(dims) == 0 {
+		return fmt.Errorf("-only kernels with the sections disabled (-dims 0) measures nothing")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read existing report: %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("parse existing report %s: %w", path, err)
+	}
+	rep.Kernels = runKernelBench(dims)
+	lr, err := runLayoutBench(dims, 2048, 25)
+	if err != nil {
+		return fmt.Errorf("layout bench: %w", err)
+	}
+	rep.Layout = lr
+	rep.Env = captureEnv()
+	rep.Generated = time.Now().UTC().Format(time.RFC3339)
+	if !strings.Contains(rep.Note, "kernels+layout remeasured") {
+		rep.Note += "; kernels+layout remeasured via -only kernels (other sections predate it)"
+	}
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}
+
 func main() {
 	out := flag.String("out", "BENCH_knn.json", "output file (- for stdout)")
 	iters := flag.Int("iters", 15, "measured iterations per grid cell")
@@ -232,7 +277,7 @@ func main() {
 	queryIters := flag.Int("query-iters", 20, "measured passes per query-serving cell")
 	procsFlag := flag.String("procs", "", "comma-separated GOMAXPROCS sweep for the build grid and batch strands (default \"1,4,NumCPU\" deduplicated)")
 	dimsFlag := flag.String("dims", "", "comma-separated dimension sweep for the kernels/layout sections (default \"2,3,4,5,6,7,8\"; empty string keeps the default, \"0\" disables the sections)")
-	only := flag.String("only", "", "re-measure only the named section and merge into the existing -out file (\"obs\" = obs_overhead + journal); other sections are preserved verbatim")
+	only := flag.String("only", "", "re-measure only the named section and merge into the existing -out file (\"obs\" = obs_overhead + journal, \"kernels\" = kernels + layout); other sections are preserved verbatim")
 	flag.Parse()
 
 	procs, err := parseProcs(*procsFlag)
@@ -249,11 +294,16 @@ func main() {
 	// Merge mode: re-measure one section against the committed record
 	// without paying for a full-grid regeneration (hours on small hosts).
 	if *only != "" {
-		if *only != "obs" {
-			fmt.Fprintf(os.Stderr, "knnbench: unknown -only section %q (want \"obs\")\n", *only)
-			os.Exit(1)
+		var err error
+		switch *only {
+		case "obs":
+			err = remeasureObs(*out, *queries, *queryIters)
+		case "kernels":
+			err = remeasureKernels(*out, dims)
+		default:
+			err = fmt.Errorf("unknown -only section %q (want \"obs\" or \"kernels\")", *only)
 		}
-		if err := remeasureObs(*out, *queries, *queryIters); err != nil {
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "knnbench:", err)
 			os.Exit(1)
 		}
@@ -281,7 +331,9 @@ func main() {
 			"journal = drain throughput with a concurrent consumer and ring-overwrite rate " +
 			"with none, over a deliberately small 1024-event ring; " +
 			"kernels = per-dimension distance-kernel micro-bench (generic fallback vs unrolled vs " +
-			"four-point, interleaved minimum over identical operand streams); layout = whole-path " +
+			"four-point vs the AVX2 assembly batch forms where the CPU supports them, each captured " +
+			"under an explicitly pinned dispatch tier, interleaved minimum over identical operand " +
+			"streams; asm_speedup is best-asm-form vs the unrolled four-point kernel); layout = whole-path " +
 			"serving per dimension over a correlated query stream (runs of 8 jittered queries per " +
 			"anchor — the shape the correction's QueryBatchClosed and clustered external traffic " +
 			"produce), ref (breadth-first layout + generic kernels + per-query scans and descents, " +

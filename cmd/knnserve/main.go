@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"sepdc"
 	"sepdc/internal/obs"
 	"sepdc/internal/pointgen"
 )
@@ -45,7 +46,8 @@ func main() {
 		batch    = flag.Int("batch", 0, "coalesced queries per pass before cutover (0 = 512)")
 		deadline = flag.Duration("deadline", 0, "batch gather deadline (0 = 2ms)")
 		sample   = flag.Int("sample", 0, "observer sampling: time 1 in N queries (0 = 16)")
-		blockW   = flag.Int("block-width", 0, "leaf-scan query-blocking width, 1..8 (0 = engine default)")
+		blockW   = flag.Int("block-width", 0, "leaf-scan query-blocking width, 1..16 (0 = engine default)")
+		ringSize = flag.Int("journal-ring", 0, "wide-event journal ring capacity per strand; watch sepdc_journal_overwrite_rate (0 = 4096)")
 		flight   = flag.String("flight", "", "flight-recorder bundle directory (empty = off)")
 		flightLa = flag.Duration("flight-latency", 0, "flight SLO per-pass latency objective (0 = 100ms)")
 	)
@@ -65,6 +67,7 @@ func main() {
 		deadline:      *deadline,
 		sample:        *sample,
 		blockW:        *blockW,
+		ringSize:      *ringSize,
 		flightDir:     *flight,
 		flightLatency: *flightLa,
 	})
@@ -80,6 +83,12 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
+	// Log the resolved distance-kernel tier (and publish it on /statsz)
+	// so production can confirm the assembly kernels actually engaged.
+	tier, cpu := sepdc.KernelInfo()
+	obs.SetInfo("kernel_tier", tier)
+	obs.SetInfo("cpu_features", cpu)
+	fmt.Printf("knnserve: kernels tier=%s cpu=%s\n", tier, cpu)
 	fmt.Printf("knnserve: %d points, d=%d k=%d, %d replicas, serving on %s\n",
 		len(srv.points), *d, *k, srv.cfg.replicas, *addr)
 

@@ -36,6 +36,7 @@ type serverConfig struct {
 	maxBody  int64         // request body cap, bytes
 	sample   int           // observer sampling period (0 = default 16)
 	blockW   int           // leaf-scan query-blocking width (0 = engine default)
+	ringSize int           // journal ring capacity per strand (0 = default 4096)
 
 	flightDir     string        // flight-recorder bundle directory ("" = off)
 	flightLatency time.Duration // per-pass latency SLO objective
@@ -141,7 +142,7 @@ func newServer(cfg serverConfig) (*server, error) {
 
 	s.journals = make([]*sepdc.QueryJournal, cfg.replicas)
 	for i := range s.journals {
-		s.journals[i] = sepdc.NewQueryJournal(observerName(i), sepdc.QueryJournalConfig{})
+		s.journals[i] = sepdc.NewQueryJournal(observerName(i), sepdc.QueryJournalConfig{PerStrand: cfg.ringSize})
 	}
 
 	gen, err := s.buildGeneration(cfg.seed)

@@ -124,6 +124,11 @@ func TestBatcherJournaledZeroAllocSteadyState(t *testing.T) {
 // captures a complete bundle — journal + tail sampler + runtime trace +
 // CPU profile — that CheckFlightBundle accepts.
 func TestFlightRecorderChaosStallTripsAndCaptures(t *testing.T) {
+	// The healthy-baseline phase below depends on chaos being off; pin
+	// the env so an external KNN_CHAOS profile (the chaos matrix runs
+	// this test under stall=200us) cannot stall the "clean" batches and
+	// trip the SLO before the outage phase starts.
+	t.Setenv("KNN_CHAOS", "")
 	points := genPoints(600, 2, 17)
 	qs, err := NewQueryStructure(points, 3, 17)
 	if err != nil {

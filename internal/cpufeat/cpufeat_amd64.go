@@ -1,0 +1,57 @@
+//go:build amd64 && !purego
+
+package cpufeat
+
+// cpuid executes the CPUID instruction with the given leaf/subleaf.
+// Implemented in cpufeat_amd64.s.
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0): which register
+// state the OS saves and restores across context switches. Only valid
+// when CPUID reports OSXSAVE. Implemented in cpufeat_amd64.s.
+func xgetbv() (eax, edx uint32)
+
+const (
+	// CPUID.(EAX=1):ECX
+	cpuidFMA     = 1 << 12
+	cpuidOSXSAVE = 1 << 27
+	cpuidAVX     = 1 << 28
+	// CPUID.(EAX=7,ECX=0):EBX
+	cpuidAVX2    = 1 << 5
+	cpuidAVX512F = 1 << 16
+	// XCR0
+	xcr0SSE    = 1 << 1
+	xcr0AVX    = 1 << 2
+	xcr0Opmask = 1 << 5
+	xcr0ZMMHi  = 1 << 6
+	xcr0Hi16   = 1 << 7
+)
+
+func detect() featureSet {
+	var f featureSet
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return f
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	if ecx1&cpuidOSXSAVE == 0 {
+		// Without OSXSAVE, XGETBV faults and ymm state is not managed:
+		// no AVX-family feature is usable regardless of CPUID bits.
+		return f
+	}
+	f.osxsave = true
+	xlo, _ := xgetbv()
+	ymmOK := xlo&(xcr0SSE|xcr0AVX) == xcr0SSE|xcr0AVX
+	if !ymmOK {
+		return f
+	}
+	f.avx = ecx1&cpuidAVX != 0
+	f.fma = ecx1&cpuidFMA != 0
+	if maxLeaf >= 7 {
+		_, ebx7, _, _ := cpuid(7, 0)
+		f.avx2 = f.avx && ebx7&cpuidAVX2 != 0
+		zmmOK := xlo&(xcr0Opmask|xcr0ZMMHi|xcr0Hi16) == xcr0Opmask|xcr0ZMMHi|xcr0Hi16
+		f.avx512f = zmmOK && ebx7&cpuidAVX512F != 0
+	}
+	return f
+}

@@ -1,0 +1,8 @@
+//go:build !amd64 || purego
+
+package cpufeat
+
+// detect reports no features on architectures without the CPUID probe
+// and under the purego build tag (the "no assembly anywhere" escape
+// hatch CI compiles to keep the fallback kernels honest).
+func detect() featureSet { return featureSet{} }

@@ -91,6 +91,24 @@ func serveMetrics(w http.ResponseWriter, req *http.Request) {
 			float64(s.Latency.Sum), s.Latency.Count)
 	}
 
+	// Journal ring saturation: the fraction of ever-published wide
+	// events the rings have already overwritten. Near 1 the journal is
+	// mostly forgetting traffic before anyone reads it — grow the ring
+	// (QueryJournalConfig.PerStrand / knnserve -journal-ring) or drain
+	// more often. metrics_audit.sh lints this gauge into [0, 1].
+	if jNames, journals := journalList(); len(jNames) > 0 {
+		samples := make([]promtext.GaugeSample, 0, len(jNames))
+		for _, name := range jNames {
+			samples = append(samples, promtext.GaugeSample{
+				Labels: []promtext.Label{{Name: "engine", Value: name}},
+				Value:  journals[name].Accounting().OverwriteRate(),
+			})
+		}
+		pw.Gauge("sepdc_journal_overwrite_rate",
+			"Fraction of published wide events already overwritten out of the journal rings (1 = ring far too small for the traffic).",
+			samples...)
+	}
+
 	// Registered gauges (audit results et al.).
 	gaugeNames, byName, help := gaugeSnapshot()
 	for _, name := range gaugeNames {
@@ -153,6 +171,7 @@ var globalHelpText = map[string]string{
 // statszPayload is the /statsz JSON document.
 type statszPayload struct {
 	Globals map[string]int64          `json:"globals"`
+	Info    map[string]string         `json:"info,omitempty"`
 	Serves  map[string]*ServeSnapshot `json:"serves,omitempty"`
 	Gauges  []statszGauge             `json:"gauges,omitempty"`
 }
@@ -171,7 +190,7 @@ type statszGauge struct {
 func WriteStatsz(w io.Writer) error {
 	_, snaps := serveSnapshots()
 	gaugeNames, byName, _ := gaugeSnapshot()
-	doc := statszPayload{Globals: GlobalSnapshot(), Serves: snaps}
+	doc := statszPayload{Globals: GlobalSnapshot(), Info: infoSnapshot(), Serves: snaps}
 	for _, name := range gaugeNames {
 		for _, p := range byName[name] {
 			label := ""

@@ -100,3 +100,40 @@ func TestStatszJSON(t *testing.T) {
 		t.Fatalf("tail path = %v", got)
 	}
 }
+
+// TestMetricsJournalOverwriteGauge: /metrics must expose one
+// sepdc_journal_overwrite_rate sample per registered journal, valued at
+// the ring's Overwritten/Published fraction.
+func TestMetricsJournalOverwriteGauge(t *testing.T) {
+	j := NewJournal(JournalConfig{PerStrand: 4}, 1)
+	j.Strand(0).Publish(mkEvents(1, 0, 8)) // half the history overwritten
+	RegisterJournal("gaugejournal", j)
+	defer UnregisterJournal("gaugejournal", j)
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	exp, err := promtext.Lint(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition failed lint: %v", err)
+	}
+	var found bool
+	for _, s := range exp.Find("sepdc_journal_overwrite_rate") {
+		if len(s.Labels) == 1 && s.Labels[0] == (promtext.Label{Name: "engine", Value: "gaugejournal"}) {
+			found = true
+			if s.Value != 0.5 {
+				t.Errorf("overwrite rate = %v, want 0.5", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no gaugejournal sample in %+v", exp.Find("sepdc_journal_overwrite_rate"))
+	}
+	if exp.Types["sepdc_journal_overwrite_rate"] != "gauge" {
+		t.Errorf("type = %q, want gauge", exp.Types["sepdc_journal_overwrite_rate"])
+	}
+}

@@ -233,11 +233,69 @@ func (s *JournalStrand) read(consume bool, out []JournalEvent) ([]JournalEvent, 
 	return out, s.published, s.dropped
 }
 
+// accounting returns the strand's publication totals under its lock:
+// events ever published, events already overwritten out of the ring
+// (whether or not a Drain saw them first), and events overwritten
+// before any Drain saw them.
+func (s *JournalStrand) accounting() (published, overwritten, dropped uint64) {
+	if s == nil {
+		return 0, 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := uint64(len(s.ring))
+	return s.published, s.published - min64(s.published, n), s.dropped
+}
+
 func min64(a, b uint64) uint64 {
 	if a < b {
 		return a
 	}
 	return b
+}
+
+// JournalAccounting is a journal's ring-pressure summary, cheap enough
+// for every scrape: no event copying, one brief lock per strand.
+type JournalAccounting struct {
+	// Published is the events ever published across all strands.
+	Published uint64
+	// Overwritten is the events the rings have already evicted —
+	// published but no longer retained, whether or not a Drain saw them.
+	// Overwritten/Published is the ring-saturation ("overwrite") rate: a
+	// value near 1 means the rings retain a vanishing fraction of served
+	// traffic and a latency breach will have little surrounding evidence
+	// left by the time anyone looks. Grow JournalConfig.PerStrand (or
+	// drain more often) to lower it.
+	Overwritten uint64
+	// Dropped is the subset of Overwritten that no Drain ever returned.
+	Dropped uint64
+}
+
+// OverwriteRate returns Overwritten/Published, or 0 before any publish.
+func (a JournalAccounting) OverwriteRate() float64 {
+	if a.Published == 0 {
+		return 0
+	}
+	return float64(a.Overwritten) / float64(a.Published)
+}
+
+// Accounting sums the ring accounting across strands without copying
+// any events — the scrape path's view of journal saturation. Nil-safe.
+func (j *Journal) Accounting() JournalAccounting {
+	if j == nil {
+		return JournalAccounting{}
+	}
+	j.mu.Lock()
+	strands := append([]*JournalStrand(nil), j.strands...)
+	j.mu.Unlock()
+	var acc JournalAccounting
+	for _, s := range strands {
+		pub, over, drop := s.accounting()
+		acc.Published += pub
+		acc.Overwritten += over
+		acc.Dropped += drop
+	}
+	return acc
 }
 
 // JournalDrain is the result of one Snapshot or Drain: the events in a

@@ -256,3 +256,35 @@ func TestJournalWriteJSONLPropagatesWriteErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestJournalAccounting(t *testing.T) {
+	j := NewJournal(JournalConfig{PerStrand: 4}, 2)
+	if acc := j.Accounting(); acc != (JournalAccounting{}) || acc.OverwriteRate() != 0 {
+		t.Fatalf("idle accounting: %+v", acc)
+	}
+	// Strand 0 wraps (10 into a ring of 4); strand 1 stays within.
+	j.Strand(0).Publish(mkEvents(1, 0, 10))
+	j.Strand(1).Publish(mkEvents(1, 0, 3))
+	acc := j.Accounting()
+	if acc.Published != 13 || acc.Overwritten != 6 || acc.Dropped != 0 {
+		t.Fatalf("accounting after publish: %+v", acc)
+	}
+	if got, want := acc.OverwriteRate(), 6.0/13.0; got != want {
+		t.Fatalf("overwrite rate = %v, want %v", got, want)
+	}
+	// Accounting copies nothing and consumes nothing: a following Drain
+	// still sees the retained events and charges the never-seen ones.
+	d := j.Drain()
+	if len(d.Events) != 7 || d.Dropped != 6 {
+		t.Fatalf("drain after accounting: events=%d dropped=%d", len(d.Events), d.Dropped)
+	}
+	acc = j.Accounting()
+	if acc.Published != 13 || acc.Overwritten != 6 || acc.Dropped != 6 {
+		t.Fatalf("accounting after drain: %+v", acc)
+	}
+	// Nil journal and nil strand are inert.
+	var nj *Journal
+	if acc := nj.Accounting(); acc != (JournalAccounting{}) {
+		t.Fatalf("nil journal accounting: %+v", acc)
+	}
+}

@@ -25,6 +25,7 @@ type registry struct {
 	journals map[string]*Journal
 	gauges   map[GaugeKey]float64
 	help     map[string]string
+	info     map[string]string
 }
 
 var reg = registry{
@@ -32,6 +33,32 @@ var reg = registry{
 	journals: map[string]*Journal{},
 	gauges:   map[GaugeKey]float64{},
 	help:     map[string]string{},
+	info:     map[string]string{},
+}
+
+// SetInfo publishes one process-configuration string (facts with no
+// numeric reading: the kernel dispatch tier, the CPU feature set) on
+// /statsz's info map, so production can confirm what a process actually
+// selected at startup. Re-setting a key replaces its value.
+func SetInfo(key, value string) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	reg.info[key] = value
+}
+
+// infoSnapshot copies the info map for the scrape path; nil when empty
+// so /statsz omits the section entirely.
+func infoSnapshot() map[string]string {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if len(reg.info) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(reg.info))
+	for k, v := range reg.info {
+		out[k] = v
+	}
+	return out
 }
 
 // RegisterServe publishes a serve recorder under name (e.g. "batch");

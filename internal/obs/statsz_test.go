@@ -37,6 +37,7 @@ func TestStatszSchemaGolden(t *testing.T) {
 	defer RegisterServe("statsz-golden", nil)
 	SetGauge(GaugeKey{Name: "statsz_golden_plain"}, "", 1.5)
 	SetGauge(GaugeKey{Name: "statsz_golden_labeled", LabelName: "objective", LabelValue: "x"}, "", 2)
+	SetInfo("statsz_golden_info", "x")
 
 	var buf bytes.Buffer
 	if err := WriteStatsz(&buf); err != nil {
@@ -58,6 +59,15 @@ func TestStatszSchemaGolden(t *testing.T) {
 		doc["serves"] = map[string]any{"<name>": mine}
 	} else {
 		t.Fatal("statsz has no serves section")
+	}
+	if info, ok := doc["info"].(map[string]any); ok {
+		mine, ok := info["statsz_golden_info"]
+		if !ok {
+			t.Fatal("registered info key missing from statsz")
+		}
+		doc["info"] = map[string]any{"<key>": mine}
+	} else {
+		t.Fatal("statsz has no info section")
 	}
 	gauges, _ := doc["gauges"].([]any)
 	var keep []any

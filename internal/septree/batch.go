@@ -98,12 +98,14 @@ type batchShard struct {
 // an unlucky strand stuck with deep queries sheds load to the others.
 const batchChunk = 16
 
-// maxBlockWidth caps the leaf-scan query-block width. Eight query lanes
-// are two four-wide kernel passes per candidate — wide enough that a
-// hot leaf's record stream is amortized over a full chunk's worth of
-// co-located queries, narrow enough that the lane scratch stays resident
-// in L1.
-const maxBlockWidth = 8
+// maxBlockWidth caps the leaf-scan query-block width. Sixteen query
+// lanes are two eight-wide assembly passes (or four four-wide Go
+// passes) per candidate — wide enough that a hot leaf's record stream
+// is amortized over a full chunk's worth of co-located queries, narrow
+// enough that the lane scratch stays resident in L1. Matching
+// batchChunk means a chunk whose queries all land on one leaf forms a
+// single group.
+const maxBlockWidth = 16
 
 // NewBatch returns an engine with the given strand count over f.
 // workers <= 0 selects GOMAXPROCS. With one strand the engine runs
@@ -170,7 +172,7 @@ func (b *Batch) Journal(j *obs.Journal) {
 func (b *Batch) Chaos(inj *chaos.Injector) { b.inj = inj }
 
 // SetBlockWidth sets the engine's leaf-scan query-blocking width,
-// clamped to [1, 8]. Widths above 1 enable blocked scans: after a chunk
+// clamped to [1, 16]. Widths above 1 enable blocked scans: after a chunk
 // of queries descends, queries that landed on the same leaf are grouped
 // up to the width and answered by one streaming pass over the leaf's
 // candidate records (scanLeafBlock), amortizing the candidate stream —

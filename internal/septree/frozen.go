@@ -65,10 +65,12 @@ type Frozen struct {
 	leafBalls []int32   // concatenated, ascending ball ids per leaf
 	leafRecs  []float64 // leafBalls' records inlined, stride floats per id
 
-	dist2   vec.Dist2Func
-	dot     vec.DotFunc
-	batch4  vec.Dist2Batch4Func // four-wide scan kernel; nil disables batching
-	generic bool                // UseGenericKernels: also skip the d=4..8 inline descents
+	dist2    vec.Dist2Func
+	dot      vec.DotFunc
+	batch4   vec.Dist2Batch4Func   // four-wide scan kernel; nil disables batching
+	batch8   vec.Dist2Batch8Func   // eight-wide query-blocked kernel; nil falls back to batch4
+	strided8 vec.Dist2Strided8Func // eight-record stream kernel; nil falls back to batch4
+	generic  bool                  // generic tier: also skip the d=4..8 inline descents
 }
 
 const (
@@ -200,6 +202,16 @@ func blockedOrder(root *Node) []*Node {
 // would branch to the wrong node.
 func freezeOrder(t *Tree, order []*Node, layout Layout) (*Frozen, error) {
 	dim := len(t.Sys.Centers[0])
+	// Kernels are captured once at freeze time from the active dispatch
+	// tier (KNN_KERNELS / vec.SetActiveTier). The eight-lane forms are
+	// nil on tiers or builds without assembly, which the scan loops
+	// treat as "use the four-wide path". The generic tier freezes with
+	// no batch kernels at all and skips the d=4..8 inline descents —
+	// the same configuration UseGenericKernels restores — so a
+	// KNN_KERNELS=generic run exercises the pre-dispatch arithmetic end
+	// to end. (The scan loops also rely on batch kernels reading only
+	// [0, dim) of the candidate's slot, which the flat generic batch
+	// kernel does not guarantee.)
 	f := &Frozen{
 		dim:     dim,
 		stride:  dim + 1,
@@ -207,7 +219,12 @@ func freezeOrder(t *Tree, order []*Node, layout Layout) (*Frozen, error) {
 		layout:  layout,
 		dist2:   vec.Dist2Kernel(dim),
 		dot:     vec.DotKernel(dim),
-		batch4:  vec.Dist2Batch4Kernel(dim),
+		generic: vec.ActiveTier() == vec.TierGeneric,
+	}
+	if !f.generic {
+		f.batch4 = vec.Dist2Batch4Kernel(dim)
+		f.batch8 = vec.Dist2Batch8Kernel(dim)
+		f.strided8 = vec.Dist2Strided8Kernel(dim)
 	}
 	id := make(map[*Node]int32, len(order))
 	for i, nd := range order {
@@ -273,6 +290,8 @@ func (f *Frozen) UseGenericKernels() {
 	f.dist2 = vec.Dist2Flat
 	f.dot = vec.DotFlat
 	f.batch4 = nil
+	f.batch8 = nil
+	f.strided8 = nil
 	f.generic = true
 }
 
@@ -418,6 +437,74 @@ func (f *Frozen) ScanLeaf(leaf int32, q []float64, closed bool, out []int) (res 
 	recs := f.leafRecs[int(lo)*stride : int(hi)*stride]
 	n := len(balls)
 	k := 0
+	// Eight candidates per kernel call when the assembly record-stream
+	// kernel is available: it consumes the CSR record window at its
+	// natural stride, so eight inlined candidate records are scanned per
+	// indirect call with no per-candidate subslicing at all. Each lane
+	// is computed with the exact left-to-right accumulation of the
+	// single-pair kernel, so the strided, four-wide, and remainder
+	// candidates all admit the same set of ids.
+	if s8 := f.strided8; s8 != nil {
+		if closed {
+			for ; k+8 <= n; k += 8 {
+				m := k * stride
+				d0, d1, d2, d3, d4, d5, d6, d7 := s8(q, recs[m:], stride)
+				if d0 <= recs[m+stride-1]+geom.Eps {
+					out = append(out, int(balls[k]))
+				}
+				if d1 <= recs[m+2*stride-1]+geom.Eps {
+					out = append(out, int(balls[k+1]))
+				}
+				if d2 <= recs[m+3*stride-1]+geom.Eps {
+					out = append(out, int(balls[k+2]))
+				}
+				if d3 <= recs[m+4*stride-1]+geom.Eps {
+					out = append(out, int(balls[k+3]))
+				}
+				if d4 <= recs[m+5*stride-1]+geom.Eps {
+					out = append(out, int(balls[k+4]))
+				}
+				if d5 <= recs[m+6*stride-1]+geom.Eps {
+					out = append(out, int(balls[k+5]))
+				}
+				if d6 <= recs[m+7*stride-1]+geom.Eps {
+					out = append(out, int(balls[k+6]))
+				}
+				if d7 <= recs[m+8*stride-1]+geom.Eps {
+					out = append(out, int(balls[k+7]))
+				}
+			}
+		} else {
+			for ; k+8 <= n; k += 8 {
+				m := k * stride
+				d0, d1, d2, d3, d4, d5, d6, d7 := s8(q, recs[m:], stride)
+				if d0 < recs[m+stride-1] {
+					out = append(out, int(balls[k]))
+				}
+				if d1 < recs[m+2*stride-1] {
+					out = append(out, int(balls[k+1]))
+				}
+				if d2 < recs[m+3*stride-1] {
+					out = append(out, int(balls[k+2]))
+				}
+				if d3 < recs[m+4*stride-1] {
+					out = append(out, int(balls[k+3]))
+				}
+				if d4 < recs[m+5*stride-1] {
+					out = append(out, int(balls[k+4]))
+				}
+				if d5 < recs[m+6*stride-1] {
+					out = append(out, int(balls[k+5]))
+				}
+				if d6 < recs[m+7*stride-1] {
+					out = append(out, int(balls[k+6]))
+				}
+				if d7 < recs[m+8*stride-1] {
+					out = append(out, int(balls[k+7]))
+				}
+			}
+		}
+	}
 	// Four candidates per kernel call: one query record load amortized
 	// over four inlined candidate records, each lane computed with the
 	// exact left-to-right accumulation of the single-pair kernel, so the
@@ -483,42 +570,83 @@ func (f *Frozen) ScanLeaf(leaf int32, q []float64, closed bool, out []int) (res 
 
 // scanLeafBlock scans one leaf's candidate stream on behalf of several
 // queries that all descended to it, appending each query's hits to its
-// own outs lane. For full groups of four lanes the loop order is
-// inverted relative to ScanLeaf — candidates outermost — so the leaf's
-// records stream through cache once per four lanes and the four-wide
-// kernel amortizes each candidate load over four query lanes
-// (dist²(c, q) is bitwise equal to dist²(q, c), so the candidate can sit
-// in the kernel's query slot). Lanes past the last multiple of four take
-// one candidate-blocked ScanLeaf pass each over the records the block
-// loop just streamed (still warm) — every lane runs four-wide in one
-// orientation or the other, never through the single-pair kernel.
-// Candidates are visited in ascending-id order in both shapes, so every
-// lane's hits come out ascending, exactly as ScanLeaf would produce
-// them; each lane's compare uses the same expression as the sequential
-// path, keeping blocked answers bit-identical. Returns the number of
-// candidates scanned (charged to every query in the block).
+// own outs lane. For full groups of eight (asm tier) or four lanes the
+// loop order is inverted relative to ScanLeaf — candidates outermost —
+// so the leaf's records stream through cache once per lane group and
+// the wide kernel amortizes each candidate load over the group's query
+// lanes (dist²(c, q) is bitwise equal to dist²(q, c), so the candidate
+// can sit in the kernel's query slot). Lanes [nq8, nq4) run through the
+// four-wide kernel; lanes past nq4 take one candidate-blocked ScanLeaf
+// pass each over the records the block loop just streamed (still warm)
+// — every lane runs wide in one orientation or the other, never
+// through the single-pair kernel. Candidates are visited in
+// ascending-id order in every shape, so each lane's hits come out
+// ascending, exactly as ScanLeaf would produce them; each lane's
+// compare uses the same expression as the sequential path, keeping
+// blocked answers bit-identical. Returns the number of candidates
+// scanned (charged to every query in the block).
 func (f *Frozen) scanLeafBlock(leaf int32, qs [][]float64, closed bool, outs [][]int) int {
 	slot := f.child[leaf]
 	lo, hi := f.leafOff[slot], f.leafOff[slot+1]
 	balls := f.leafBalls[lo:hi]
-	batch4, stride := f.batch4, f.stride
+	batch4, batch8, stride := f.batch4, f.batch8, f.stride
 	recs := f.leafRecs[int(lo)*stride : int(hi)*stride]
 	nq := len(qs)
-	nq4 := 0
+	nq4, nq8 := 0, 0
 	if batch4 != nil {
 		nq4 = nq &^ 3
 	}
-	// The kernels index only [0, dim) of each operand, so the candidate's
-	// stride-wide record stands in for its center without a subslice, and
-	// the closed/open split keeps the membership branch out of the
-	// candidate loop — both mirroring ScanLeaf's candidate-blocked body.
+	if batch8 != nil {
+		nq8 = nq &^ 7
+		if nq4 < nq8 {
+			// batch8 without batch4 cannot happen through freeze, but keep
+			// the lane accounting self-consistent regardless.
+			nq4 = nq8
+		}
+	}
+	// The candidate's record goes in the kernel's query slot bounded to
+	// its center's dim coordinates: the fixed-dim and asm kernels index
+	// only [0, dim) anyway, and the flat fallback (d > 8) sizes its loop
+	// from that slot's length. The closed/open split keeps the
+	// membership branch out of the candidate loop, mirroring ScanLeaf's
+	// candidate-blocked body. batch8 reads its eight query headers
+	// straight from the qs window.
+	dim := stride - 1
 	if nq4 > 0 && closed {
 		for k, j := range balls {
 			m := k * stride
 			thr := recs[m+stride-1] + geom.Eps
 			id := int(j)
-			for li := 0; li < nq4; li += 4 {
-				da, db, dc, dd := batch4(recs[m:], qs[li], qs[li+1], qs[li+2], qs[li+3])
+			li := 0
+			for ; li < nq8; li += 8 {
+				d0, d1, d2, d3, d4, d5, d6, d7 := batch8(recs[m:m+dim], qs[li:])
+				if d0 <= thr {
+					outs[li] = append(outs[li], id)
+				}
+				if d1 <= thr {
+					outs[li+1] = append(outs[li+1], id)
+				}
+				if d2 <= thr {
+					outs[li+2] = append(outs[li+2], id)
+				}
+				if d3 <= thr {
+					outs[li+3] = append(outs[li+3], id)
+				}
+				if d4 <= thr {
+					outs[li+4] = append(outs[li+4], id)
+				}
+				if d5 <= thr {
+					outs[li+5] = append(outs[li+5], id)
+				}
+				if d6 <= thr {
+					outs[li+6] = append(outs[li+6], id)
+				}
+				if d7 <= thr {
+					outs[li+7] = append(outs[li+7], id)
+				}
+			}
+			for ; li < nq4; li += 4 {
+				da, db, dc, dd := batch4(recs[m:m+dim], qs[li], qs[li+1], qs[li+2], qs[li+3])
 				if da <= thr {
 					outs[li] = append(outs[li], id)
 				}
@@ -538,8 +666,36 @@ func (f *Frozen) scanLeafBlock(leaf int32, qs [][]float64, closed bool, outs [][
 			m := k * stride
 			thr := recs[m+stride-1]
 			id := int(j)
-			for li := 0; li < nq4; li += 4 {
-				da, db, dc, dd := batch4(recs[m:], qs[li], qs[li+1], qs[li+2], qs[li+3])
+			li := 0
+			for ; li < nq8; li += 8 {
+				d0, d1, d2, d3, d4, d5, d6, d7 := batch8(recs[m:m+dim], qs[li:])
+				if d0 < thr {
+					outs[li] = append(outs[li], id)
+				}
+				if d1 < thr {
+					outs[li+1] = append(outs[li+1], id)
+				}
+				if d2 < thr {
+					outs[li+2] = append(outs[li+2], id)
+				}
+				if d3 < thr {
+					outs[li+3] = append(outs[li+3], id)
+				}
+				if d4 < thr {
+					outs[li+4] = append(outs[li+4], id)
+				}
+				if d5 < thr {
+					outs[li+5] = append(outs[li+5], id)
+				}
+				if d6 < thr {
+					outs[li+6] = append(outs[li+6], id)
+				}
+				if d7 < thr {
+					outs[li+7] = append(outs[li+7], id)
+				}
+			}
+			for ; li < nq4; li += 4 {
+				da, db, dc, dd := batch4(recs[m:m+dim], qs[li], qs[li+1], qs[li+2], qs[li+3])
 				if da < thr {
 					outs[li] = append(outs[li], id)
 				}

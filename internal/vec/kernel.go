@@ -44,11 +44,46 @@ type DotFunc func(a, b []float64) float64
 // role q plays.
 type Dist2Batch4Func func(q, a, b, c, d []float64) (da, db, dc, dd float64)
 
+// Dist2Batch8Func computes eight squared Euclidean distances at once:
+// from one point q to each of ps[0..7] (ps must hold at least eight
+// slices of at least the kernel's dimension). The assembly
+// implementation keeps two ymm accumulators live (four points per
+// register), so one call retires eight distances while q's broadcast
+// coordinate is loaded once per dimension. Taking the points as a
+// slice-of-slices matters for the call overhead: an assembly callee is
+// reached through an ABI0 bridge that spills every argument word to
+// the stack, and two slice headers (six words) spill far cheaper than
+// nine would — the kernel loads the eight data pointers from ps's
+// backing array itself. The query-blocked leaf scan already holds its
+// query lanes in exactly this shape.
+//
+// Each lane is bit-identical to Dist2Flat(q, ps[k]); as with
+// Dist2Batch4Func, the symmetry of (x−y)² lets the same kernel serve
+// one candidate against eight queries, which is how the blocked scan
+// orients it.
+type Dist2Batch8Func func(q []float64, ps [][]float64) (d0, d1, d2, d3, d4, d5, d6, d7 float64)
+
+// Dist2Strided8Func computes squared Euclidean distances from q to
+// eight consecutive fixed-stride records in a packed slice: lane k is
+// Dist2Flat(q, recs[k*stride:k*stride+len(q)]). This is the shape of
+// the frozen septree leaf-record stream (stride = dim+1 with the
+// radius term trailing each center), so the leaf scan can hand the
+// kernel a window of the record array directly instead of slicing out
+// eight candidate headers per group.
+type Dist2Strided8Func func(q, recs []float64, stride int) (d0, d1, d2, d3, d4, d5, d6, d7 float64)
+
 // Dist2Kernel returns the squared-distance kernel specialized for
 // dimension d. The returned function is bit-identical to Dist2Flat on
 // inputs of that dimension. Callers hoist the selection out of their
 // per-point loops.
+//
+// Single-pair calls stay on the unrolled Go bodies even under TierAsm:
+// at one distance per indirect call the ABI0 spill cost of an assembly
+// callee would eat any SIMD gain, so only the batch forms go to asm.
 func Dist2Kernel(d int) Dist2Func {
+	if activeTier == TierGeneric {
+		return Dist2Flat
+	}
 	switch d {
 	case 2:
 		return dist2Dim2
@@ -70,8 +105,13 @@ func Dist2Kernel(d int) Dist2Func {
 }
 
 // DotKernel returns the inner-product kernel specialized for dimension d,
-// bit-identical to DotFlat on inputs of that dimension.
+// bit-identical to DotFlat on inputs of that dimension. Like
+// Dist2Kernel, dot products are single-pair and stay in Go under
+// TierAsm.
 func DotKernel(d int) DotFunc {
+	if activeTier == TierGeneric {
+		return DotFlat
+	}
 	switch d {
 	case 2:
 		return dotDim2
@@ -95,7 +135,17 @@ func DotKernel(d int) DotFunc {
 // Dist2Batch4Kernel returns the four-point squared-distance kernel
 // specialized for dimension d. Every lane is bit-identical to
 // Dist2Flat — and therefore to Dist2Kernel(d) — on the same operands.
+// Under TierAsm and d=2..8 the returned function is the AVX2 assembly
+// body; four distances per call is enough to amortize its ABI0 spill.
 func Dist2Batch4Kernel(d int) Dist2Batch4Func {
+	if activeTier == TierGeneric {
+		return dist2Batch4Flat
+	}
+	if activeTier == TierAsm && d >= 2 && d <= 8 {
+		if k := asmBatch4[d]; k != nil {
+			return k
+		}
+	}
 	switch d {
 	case 2:
 		return dist2Batch4Dim2
@@ -114,6 +164,30 @@ func Dist2Batch4Kernel(d int) Dist2Batch4Func {
 	default:
 		return dist2Batch4Flat
 	}
+}
+
+// Dist2Batch8Kernel returns the eight-point squared-distance kernel for
+// dimension d, or nil when no assembly body exists for this tier,
+// build, or dimension. The eight-lane form only exists in assembly —
+// a Go version would neither vectorize reliably nor beat two unrolled
+// four-lane calls — so callers must treat nil as "use the batch-4
+// path", which is exactly what the septree blocked scans do.
+func Dist2Batch8Kernel(d int) Dist2Batch8Func {
+	if activeTier != TierAsm || d < 2 || d > 8 {
+		return nil
+	}
+	return asmBatch8[d]
+}
+
+// Dist2Strided8Kernel returns the eight-record strided squared-distance
+// kernel for dimension d, or nil when no assembly body exists for this
+// tier, build, or dimension. Like Dist2Batch8Kernel this form is
+// asm-only; nil means "scan records with the batch-4 kernel".
+func Dist2Strided8Kernel(d int) Dist2Strided8Func {
+	if activeTier != TierAsm || d < 2 || d > 8 {
+		return nil
+	}
+	return asmStrided8[d]
 }
 
 func dist2Dim2(a, b []float64) float64 {

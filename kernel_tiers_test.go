@@ -1,0 +1,179 @@
+package sepdc
+
+import (
+	"testing"
+
+	"sepdc/internal/vec"
+)
+
+// availableTiers lists the kernel dispatch tiers this build/CPU can
+// actually serve — the asm tier only where the AVX2 bodies are linked
+// in and runnable.
+func availableTiers() []vec.KernelTier {
+	ts := []vec.KernelTier{vec.TierGeneric, vec.TierUnrolled}
+	if vec.AsmSupported() {
+		ts = append(ts, vec.TierAsm)
+	}
+	return ts
+}
+
+// TestGoldenAcrossKernelTiersChaos is the cross-tier golden contract
+// under every chaos profile: whatever KNN_CHAOS does to the build, and
+// whichever kernel tier (KNN_KERNELS equivalent) serves the queries,
+// every answer — sequential, batched at several block widths, open and
+// closed — must be element-for-element identical to the clean
+// generic-tier baseline. This is the acceptance gate for swapping the
+// assembly kernels into the serving path.
+func TestGoldenAcrossKernelTiersChaos(t *testing.T) {
+	const n, d, k, seed = 400, 6, 3, 21
+	points := genPoints(n, d, seed)
+	queries := queryPoints(points, 160, 33)
+	prev := vec.ActiveTier()
+	defer vec.SetActiveTier(prev)
+
+	// Baseline: clean build, generic tier.
+	vec.SetActiveTier(vec.TierGeneric)
+	qs0, err := NewQueryStructure(points, k, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOpen := make([][]int, len(queries))
+	for i, q := range queries {
+		if wantOpen[i], err = qs0.CoveringBalls(q); err != nil {
+			t.Fatalf("baseline query %d: %v", i, err)
+		}
+	}
+	base := qs0.NewBatcher(1)
+	if err := base.RunClosed(queries); err != nil {
+		t.Fatal(err)
+	}
+	wantClosed := make([][]int, len(queries))
+	for i := range queries {
+		wantClosed[i] = append([]int(nil), base.Result(i)...)
+	}
+
+	profiles := map[string]string{"clean": ""}
+	for name, spec := range chaosSpecs {
+		profiles[name] = spec
+	}
+	for name, spec := range profiles {
+		t.Run(name, func(t *testing.T) {
+			if spec != "" {
+				t.Setenv("KNN_CHAOS", spec)
+			}
+			for _, tier := range availableTiers() {
+				t.Run(tier.String(), func(t *testing.T) {
+					vec.SetActiveTier(tier)
+					qs, err := NewQueryStructure(points, k, seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i, q := range queries {
+						got, err := qs.CoveringBalls(q)
+						if err != nil {
+							t.Fatalf("query %d: %v", i, err)
+						}
+						if !sameInts(got, wantOpen[i]) {
+							t.Fatalf("sequential query %d: %v, baseline %v", i, got, wantOpen[i])
+						}
+					}
+					// Block widths crossing every scan shape: per-query (1),
+					// four-wide remainder (5), pure eight-wide (8), and the
+					// widened two-group maximum (16).
+					for _, w := range []int{1, 5, 8, 16} {
+						bt := qs.NewBatcher(3)
+						bt.SetBlockWidth(w)
+						if err := bt.Run(queries); err != nil {
+							t.Fatal(err)
+						}
+						for i := range queries {
+							if !sameInts(bt.Result(i), wantOpen[i]) {
+								t.Fatalf("width=%d open query %d: %v, baseline %v", w, i, bt.Result(i), wantOpen[i])
+							}
+						}
+						if err := bt.RunClosed(queries); err != nil {
+							t.Fatal(err)
+						}
+						for i := range queries {
+							if !sameInts(bt.Result(i), wantClosed[i]) {
+								t.Fatalf("width=%d closed query %d: %v, baseline %v", w, i, bt.Result(i), wantClosed[i])
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestGoldenKernelTiersAllDims sweeps the asm-covered dimension range:
+// at every d the tiers must return identical coverings, sequential and
+// through the widest blocked scan.
+func TestGoldenKernelTiersAllDims(t *testing.T) {
+	prev := vec.ActiveTier()
+	defer vec.SetActiveTier(prev)
+	for d := 2; d <= 8; d++ {
+		points := genPoints(300, d, uint64(40+d))
+		queries := queryPoints(points, 120, uint64(50+d))
+		vec.SetActiveTier(vec.TierGeneric)
+		qs0, err := NewQueryStructure(points, 3, uint64(40+d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([][]int, len(queries))
+		for i, q := range queries {
+			if want[i], err = qs0.CoveringBalls(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, tier := range availableTiers() {
+			vec.SetActiveTier(tier)
+			qs, err := NewQueryStructure(points, 3, uint64(40+d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			bt := qs.NewBatcher(2)
+			bt.SetBlockWidth(16)
+			if err := bt.Run(queries); err != nil {
+				t.Fatal(err)
+			}
+			for i, q := range queries {
+				got, err := qs.CoveringBalls(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameInts(got, want[i]) {
+					t.Fatalf("d=%d tier=%v query %d: %v, baseline %v", d, tier, i, got, want[i])
+				}
+				if !sameInts(bt.Result(i), want[i]) {
+					t.Fatalf("d=%d tier=%v blocked query %d: %v, baseline %v", d, tier, i, bt.Result(i), want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatcherZeroAllocBlockedWide asserts the widened blocked scan — the
+// path that feeds full eight-lane groups to the assembly kernels at
+// d >= 4 — still performs zero steady-state allocations per Run at the
+// new maximum width.
+func TestBatcherZeroAllocBlockedWide(t *testing.T) {
+	points := genPoints(1200, 6, 7)
+	qs, err := NewQueryStructure(points, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := queryPoints(points, 256, 11)
+	for _, w := range []int{8, 16} {
+		bt := qs.NewBatcher(4)
+		bt.SetBlockWidth(w)
+		for warm := 0; warm < 3; warm++ {
+			if err := bt.Run(queries); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if avg := testing.AllocsPerRun(50, func() { bt.Run(queries) }); avg != 0 {
+			t.Fatalf("width=%d: %v allocs per steady-state Run, want 0", w, avg)
+		}
+	}
+}

@@ -5,9 +5,23 @@ import (
 	"fmt"
 	"net/http"
 
+	"sepdc/internal/cpufeat"
 	"sepdc/internal/obs"
 	"sepdc/internal/obs/audit"
+	"sepdc/internal/vec"
 )
+
+// KernelInfo reports the distance-kernel dispatch configuration this
+// process resolved at startup: the active tier ("asm", "unrolled", or
+// "generic" — KNN_KERNELS overrides, otherwise the best the build and
+// CPU support) and the detected CPU vector features ("none" when the
+// build or architecture has no kernel assembly). Serving binaries log
+// it at startup and publish it on /statsz (info.kernel_tier,
+// info.cpu_features) so production can confirm the assembly kernels
+// are actually engaged.
+func KernelInfo() (tier, cpuFeatures string) {
+	return vec.ActiveTier().String(), cpufeat.Features()
+}
 
 // This file is the public face of the serving-grade observability layer:
 // a ServeObserver that a Batcher streams per-query telemetry into, a

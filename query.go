@@ -196,7 +196,7 @@ func (qs *QueryStructure) NewBatcher(workers int) *Batcher {
 }
 
 // SetBlockWidth sets the leaf-scan query-blocking width, clamped to
-// [1, 8]. Widths above 1 let each worker bundle queries that descend to
+// [1, 16]. Widths above 1 let each worker bundle queries that descend to
 // the same leaf and answer them with one streaming pass over the leaf's
 // candidate records — a throughput win when many queries land together
 // (clustered workloads, d >= 4 trees with large leaves). Answers are

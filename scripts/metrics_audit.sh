@@ -56,6 +56,12 @@ cat "$OUT/audit.log"
 # The serving telemetry of the audit's own probe traffic must be there.
 "$OUT/promlint" -q -gauge 'sepdc_serve_audit_queries_total:1:1e18' "$OUT/metrics.txt"
 
+# The wide-event journal's ring-saturation gauge must be exposed and be
+# a fraction. (It reads 1.0 only when the ring retains a vanishing
+# share of served traffic — the BENCH_knn footgun; the knob is
+# QueryJournalConfig.PerStrand / knnserve -journal-ring.)
+"$OUT/promlint" -q -gauge 'sepdc_journal_overwrite_rate:0:1' "$OUT/metrics.txt"
+
 # The runtime bridge and SLO engine series must be exposed too: the
 # debug server starts a runtime/metrics sampler, and runAudit runs a
 # one-shot burn-rate evaluation over its probe-batch latency histogram.
