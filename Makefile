@@ -63,7 +63,7 @@ kernels-matrix:
 # by test-race's full-module sweep; kept as its own target so a failure
 # names the subsystem.
 race-batch:
-	$(GO) test -race -run 'Batch|Batcher|CoveringBalls|QueryStructure|Serve|Journal|Flight|Burn|Trip' . ./internal/septree/ ./internal/obs/ ./internal/obs/slo/ ./internal/obs/flight/ ./internal/obs/runtimeobs/
+	$(GO) test -race -run 'Batch|Batcher|CoveringBalls|QueryStructure|Serve|Journal|Flight|Burn|Trip|Trace' . ./internal/septree/ ./internal/obs/ ./internal/obs/slo/ ./internal/obs/flight/ ./internal/obs/runtimeobs/
 
 # Focused race gate over the serving front end: concurrent HTTP traffic
 # against the coalescer, repeated epoch/RCU snapshot swaps, telemetry

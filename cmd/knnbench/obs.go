@@ -16,30 +16,46 @@ import (
 // ObsOverhead is one serving-telemetry overhead measurement: the same
 // batch engine over the same frozen structure and query stream, once
 // with no observer attached, once with a ServeRecorder sampling at the
-// production default (1 in 16 queries fully timed), and once with the
-// recorder AND a wide-event journal publishing every query. The
-// acceptance budget for the fully instrumented path is <= 5%
-// throughput overhead and zero allocations per pass.
+// production default (1 in 16 queries fully timed), once with the
+// recorder AND a wide-event journal publishing every query, and once
+// fully traced on top of that — every query carrying a request trace
+// context through RunTraced, with every 16th request sampled (the
+// knnload -trace-every default). Client-sampled queries take the timed
+// phase-split route but record only their exemplar and journal timing
+// (RecordExemplar), so the traced mode's recorder aggregates are
+// identical to the journaled mode's; the traced_vs_jour_pct delta is
+// the cost of the tracing layer itself. The acceptance budget is <= 5%
+// on that delta and zero allocations per pass.
 type ObsOverhead struct {
-	N              int     `json:"n"`
-	D              int     `json:"d"`
-	K              int     `json:"k"`
-	Procs          int     `json:"procs"`
-	NumQueries     int     `json:"num_queries"`
-	Iterations     int     `json:"iterations"`
-	SampleEvery    int     `json:"sample_every"`
-	NilNsPerQuery  int64   `json:"nil_ns_per_query"`
-	ObsNsPerQuery  int64   `json:"obs_ns_per_query"`
-	JourNsPerQuery int64   `json:"jour_ns_per_query"` // observer + journal attached
-	NilQPS         float64 `json:"nil_qps"`
-	ObsQPS         float64 `json:"obs_qps"`
-	JourQPS        float64 `json:"jour_qps"`
-	OverheadPct    float64 `json:"overhead_pct"`      // observer only, vs nil
-	JourOverhead   float64 `json:"jour_overhead_pct"` // observer + journal, vs nil
-	NilAllocs      int64   `json:"nil_allocs_per_pass"`
-	ObsAllocs      int64   `json:"obs_allocs_per_pass"`
-	JourAllocs     int64   `json:"jour_allocs_per_pass"`
-	SampledTotal   int64   `json:"sampled_total"` // timed queries absorbed by the recorder
+	N                int     `json:"n"`
+	D                int     `json:"d"`
+	K                int     `json:"k"`
+	Procs            int     `json:"procs"`
+	NumQueries       int     `json:"num_queries"`
+	Iterations       int     `json:"iterations"`
+	SampleEvery      int     `json:"sample_every"`
+	NilNsPerQuery    int64   `json:"nil_ns_per_query"`
+	ObsNsPerQuery    int64   `json:"obs_ns_per_query"`
+	JourNsPerQuery   int64   `json:"jour_ns_per_query"`   // observer + journal attached
+	TracedNsPerQuery int64   `json:"traced_ns_per_query"` // observer + journal + per-query trace contexts
+	NilQPS           float64 `json:"nil_qps"`
+	ObsQPS           float64 `json:"obs_qps"`
+	JourQPS          float64 `json:"jour_qps"`
+	TracedQPS        float64 `json:"traced_qps"`
+	OverheadPct      float64 `json:"overhead_pct"`        // observer only, vs nil
+	JourOverhead     float64 `json:"jour_overhead_pct"`   // observer + journal, vs nil
+	TracedOverhead   float64 `json:"traced_overhead_pct"` // observer + journal + traces, vs nil
+	// TracedVsJour is the increment tracing itself costs over the
+	// already-instrumented (observer + journal) path — the column the
+	// <=5% tracing budget is judged on. The vs-nil columns compound the
+	// budgets of the observer and journal layers, which were accepted
+	// separately.
+	TracedVsJour float64 `json:"traced_vs_jour_pct"`
+	NilAllocs        int64   `json:"nil_allocs_per_pass"`
+	ObsAllocs        int64   `json:"obs_allocs_per_pass"`
+	JourAllocs       int64   `json:"jour_allocs_per_pass"`
+	TracedAllocs     int64   `json:"traced_allocs_per_pass"`
+	SampledTotal     int64   `json:"sampled_total"` // timed queries absorbed by the recorder
 }
 
 // measureObsOverhead times nil-observer vs instrumented serving with the
@@ -76,16 +92,33 @@ func measureObsOverhead(c queryCfg, numQueries, iters int) (ObsOverhead, error) 
 	journaled := septree.NewBatch(frozen, 1)
 	journaled.Observe(rec2)
 	journaled.Journal(jour)
+	rec3 := obs.NewServeRecorder(obs.ServeConfig{}, 1)
+	jour3 := obs.NewJournal(obs.JournalConfig{}, 1)
+	tracedB := septree.NewBatch(frozen, 1)
+	tracedB.Observe(rec3)
+	tracedB.Journal(jour3)
+	// Every query carries a trace context, grouped 16 queries to a
+	// "request" like a production batch; every 16th request is sampled
+	// (the knnload -trace-every default), forcing its queries onto the
+	// timed phase-split path.
+	traces := make([]obs.TraceContext, numQueries)
+	for i := range traces {
+		req := uint64(i / 16)
+		tc := obs.GenTrace(uint64(c.n*31+c.d), req)
+		tc.Sampled = req%16 == 0
+		traces[i] = tc
+	}
 
 	type modeRun struct {
 		b      *septree.Batch
+		traces []obs.TraceContext // nil = plain Run
 		best   time.Duration
 		allocs uint64
 	}
-	modes := []*modeRun{{b: plain}, {b: inst}, {b: journaled}}
+	modes := []*modeRun{{b: plain}, {b: inst}, {b: journaled}, {b: tracedB, traces: traces}}
 	for _, m := range modes {
 		m.best = time.Duration(1<<63 - 1)
-		m.b.Run(queries) // warm arenas, recorder rings, and tail buffers
+		m.b.RunTraced(queries, m.traces) // warm arenas, recorder rings, and tail buffers
 	}
 	runtime.GC()
 	var before, after runtime.MemStats
@@ -93,7 +126,7 @@ func measureObsOverhead(c queryCfg, numQueries, iters int) (ObsOverhead, error) 
 		for _, m := range modes {
 			runtime.ReadMemStats(&before)
 			start := time.Now()
-			m.b.Run(queries)
+			m.b.RunTraced(queries, m.traces)
 			el := time.Since(start)
 			runtime.ReadMemStats(&after)
 			if el < m.best {
@@ -106,20 +139,25 @@ func measureObsOverhead(c queryCfg, numQueries, iters int) (ObsOverhead, error) 
 	res := ObsOverhead{
 		N: len(pts), D: c.d, K: c.k, Procs: 1,
 		NumQueries: numQueries, Iterations: iters,
-		SampleEvery:    int(rec.SampleEvery()),
-		NilNsPerQuery:  modes[0].best.Nanoseconds() / int64(numQueries),
-		ObsNsPerQuery:  modes[1].best.Nanoseconds() / int64(numQueries),
-		JourNsPerQuery: modes[2].best.Nanoseconds() / int64(numQueries),
-		NilQPS:         float64(numQueries) / modes[0].best.Seconds(),
-		ObsQPS:         float64(numQueries) / modes[1].best.Seconds(),
-		JourQPS:        float64(numQueries) / modes[2].best.Seconds(),
-		NilAllocs:      int64(modes[0].allocs) / int64(iters),
-		ObsAllocs:      int64(modes[1].allocs) / int64(iters),
-		JourAllocs:     int64(modes[2].allocs) / int64(iters),
-		SampledTotal:   snap.Sampled,
+		SampleEvery:      int(rec.SampleEvery()),
+		NilNsPerQuery:    modes[0].best.Nanoseconds() / int64(numQueries),
+		ObsNsPerQuery:    modes[1].best.Nanoseconds() / int64(numQueries),
+		JourNsPerQuery:   modes[2].best.Nanoseconds() / int64(numQueries),
+		TracedNsPerQuery: modes[3].best.Nanoseconds() / int64(numQueries),
+		NilQPS:           float64(numQueries) / modes[0].best.Seconds(),
+		ObsQPS:           float64(numQueries) / modes[1].best.Seconds(),
+		JourQPS:          float64(numQueries) / modes[2].best.Seconds(),
+		TracedQPS:        float64(numQueries) / modes[3].best.Seconds(),
+		NilAllocs:        int64(modes[0].allocs) / int64(iters),
+		ObsAllocs:        int64(modes[1].allocs) / int64(iters),
+		JourAllocs:       int64(modes[2].allocs) / int64(iters),
+		TracedAllocs:     int64(modes[3].allocs) / int64(iters),
+		SampledTotal:     snap.Sampled,
 	}
 	res.OverheadPct = 100 * (float64(res.ObsNsPerQuery) - float64(res.NilNsPerQuery)) / float64(res.NilNsPerQuery)
 	res.JourOverhead = 100 * (float64(res.JourNsPerQuery) - float64(res.NilNsPerQuery)) / float64(res.NilNsPerQuery)
+	res.TracedOverhead = 100 * (float64(res.TracedNsPerQuery) - float64(res.NilNsPerQuery)) / float64(res.NilNsPerQuery)
+	res.TracedVsJour = 100 * (float64(res.TracedNsPerQuery) - float64(res.JourNsPerQuery)) / float64(res.JourNsPerQuery)
 	return res, nil
 }
 
@@ -133,9 +171,10 @@ func runObsBench(numQueries, iters int) ([]ObsOverhead, error) {
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(os.Stderr, "obs   n=%-6d d=%d k=%d  nil %6d ns/q  obs %6d ns/q (%+5.1f%%)  obs+journal %6d ns/q (%+5.1f%%)  allocs nil=%d obs=%d jour=%d\n",
+		fmt.Fprintf(os.Stderr, "obs   n=%-6d d=%d k=%d  nil %6d ns/q  obs %6d ns/q (%+5.1f%%)  obs+journal %6d ns/q (%+5.1f%%)  traced %6d ns/q (%+5.1f%% vs nil, %+5.1f%% vs jour)  allocs nil=%d obs=%d jour=%d traced=%d\n",
 			r.N, r.D, r.K, r.NilNsPerQuery, r.ObsNsPerQuery, r.OverheadPct,
-			r.JourNsPerQuery, r.JourOverhead, r.NilAllocs, r.ObsAllocs, r.JourAllocs)
+			r.JourNsPerQuery, r.JourOverhead, r.TracedNsPerQuery, r.TracedOverhead, r.TracedVsJour,
+			r.NilAllocs, r.ObsAllocs, r.JourAllocs, r.TracedAllocs)
 		all = append(all, r)
 	}
 	return all, nil

@@ -59,6 +59,12 @@ type ShapeResult struct {
 	P99us     float64 `json:"p99_us"`
 	P999us    float64 `json:"p999_us"`
 	MaxUs     float64 `json:"max_us"`
+
+	// P99Trace/P999Trace are the trace ids of the requests sitting at the
+	// tail percentiles — paste one into the server's
+	// /traces?id=<id>&format=chrome to see where that request's time went.
+	P99Trace  string `json:"p99_trace_id,omitempty"`
+	P999Trace string `json:"p999_trace_id,omitempty"`
 }
 
 // ServeSection is the whole "serve" document.
@@ -81,11 +87,12 @@ type loadConfig struct {
 	n, d, k int
 	seed    uint64
 
-	conns    int
-	requests int // per connection
-	batch    int // queries per request (base size)
-	swapMS   int // swap cadence for the swap shape
-	golden   bool
+	conns      int
+	requests   int // per connection
+	batch      int // queries per request (base size)
+	swapMS     int // swap cadence for the swap shape
+	golden     bool
+	traceEvery int // every Nth request per connection is sampled (0 = never)
 }
 
 // loader owns the regenerated point set and, under -golden, one
@@ -125,6 +132,14 @@ func newLoader(cfg loadConfig) (*loader, error) {
 	return l, nil
 }
 
+// latSample is one successful request's wall time paired with the trace
+// context it was sent under — what lets the tail percentiles name the
+// exact requests behind them.
+type latSample struct {
+	ns    int64
+	trace sepdc.TraceContext
+}
+
 // worker is one connection's deterministic request loop. Latencies are
 // appended to lat (request wall time, nanoseconds).
 type worker struct {
@@ -133,7 +148,7 @@ type worker struct {
 	shape string
 	g     *xrand.RNG
 
-	lat      []int64
+	lat      []latSample
 	requests int64
 	queries  int64
 	errors   int64
@@ -193,8 +208,24 @@ func (w *worker) run(url string) {
 	for r := 0; r < w.l.cfg.requests; r++ {
 		closed := w.nextBatch()
 		w.frame = serveproto.AppendRequest(w.frame[:0], w.queries2, w.l.cfg.d, closed)
+		// Deterministic per-request trace context: derived from the run
+		// seed, shape, connection, and request ordinal — replaying the
+		// same flags replays the same trace ids, so a tail trace id from
+		// one run can be found again in the next. Every -trace-every'th
+		// request is sampled (forces the server's per-query timed path).
+		tc := sepdc.GenerateTrace(w.l.cfg.seed+hashShape(w.shape), uint64(w.id)<<32|uint64(r))
+		if w.l.cfg.traceEvery > 0 && r%w.l.cfg.traceEvery == 0 {
+			tc.Sampled = true
+		}
+		req, err := http.NewRequest(http.MethodPost, url+"/query", bytes.NewReader(w.frame))
+		if err != nil {
+			w.errors++
+			continue
+		}
+		req.Header.Set("Content-Type", binaryContentType)
+		req.Header.Set("Traceparent", tc.Traceparent())
 		start := time.Now()
-		resp, err := w.l.client.Post(url+"/query", binaryContentType, bytes.NewReader(w.frame))
+		resp, err := w.l.client.Do(req)
 		if err != nil {
 			w.errors++
 			continue
@@ -215,7 +246,7 @@ func (w *worker) run(url string) {
 			w.errors++
 			continue
 		}
-		w.lat = append(w.lat, took.Nanoseconds())
+		w.lat = append(w.lat, latSample{ns: took.Nanoseconds(), trace: tc})
 		w.requests++
 		w.queries += int64(len(w.queries2))
 		if w.l.refs != nil {
@@ -253,12 +284,22 @@ func (w *worker) check(dec *serveproto.Response, closed bool) {
 	}
 }
 
-func percentile(sorted []int64, p float64) float64 {
+func percentile(sorted []latSample, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
 	idx := int(p * float64(len(sorted)-1))
-	return float64(sorted[idx]) / 1e3 // ns -> us
+	return float64(sorted[idx].ns) / 1e3 // ns -> us
+}
+
+// traceAt names the request at a percentile: the 32-hex trace id of the
+// sample the percentile index lands on.
+func traceAt(sorted []latSample, p float64) string {
+	if len(sorted) == 0 {
+		return ""
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx].trace.TraceIDString()
 }
 
 // runShape drives one traffic shape to completion and aggregates the
@@ -272,7 +313,7 @@ func (l *loader) runShape(shape string) (ShapeResult, error) {
 			// Per-connection seed: deterministic, distinct, and distinct
 			// from the point-set seed.
 			g:   xrand.New(l.cfg.seed*1_000_000_007 + uint64(i)*7919 + hashShape(shape)),
-			lat: make([]int64, 0, l.cfg.requests),
+			lat: make([]latSample, 0, l.cfg.requests),
 		}
 	}
 
@@ -326,7 +367,7 @@ func (l *loader) runShape(shape string) (ShapeResult, error) {
 		Swaps:   swaps.Load(),
 		Elapsed: float64(elapsed.Microseconds()) / 1e3,
 	}
-	var all []int64
+	var all []latSample
 	for _, w := range workers {
 		res.Requests += w.requests
 		res.Queries += w.queries
@@ -335,14 +376,16 @@ func (l *loader) runShape(shape string) (ShapeResult, error) {
 		res.GoldenBad += w.golden
 		all = append(all, w.lat...)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(all, func(i, j int) bool { return all[i].ns < all[j].ns })
 	res.QPS = float64(res.Queries) / elapsed.Seconds()
 	res.P50us = percentile(all, 0.50)
 	res.P90us = percentile(all, 0.90)
 	res.P99us = percentile(all, 0.99)
 	res.P999us = percentile(all, 0.999)
+	res.P99Trace = traceAt(all, 0.99)
+	res.P999Trace = traceAt(all, 0.999)
 	if len(all) > 0 {
-		res.MaxUs = float64(all[len(all)-1]) / 1e3
+		res.MaxUs = float64(all[len(all)-1].ns) / 1e3
 	}
 	return res, nil
 }
@@ -394,6 +437,7 @@ func main() {
 		swapMS   = flag.Int("swap-every", 150, "swap cadence in ms for the swap shape")
 		golden   = flag.Bool("golden", false, "verify every answer against a local reference structure")
 		bench    = flag.String("bench", "", "merge results into this BENCH_knn.json (empty = stdout only)")
+		traceN   = flag.Int("trace-every", 16, "mark every Nth request per connection sampled (0 = never); all requests carry deterministic traceparents")
 	)
 	flag.Parse()
 
@@ -401,7 +445,7 @@ func main() {
 		addr: *addr, dist: pointgen.Dist(*dist),
 		n: *n, d: *d, k: *k, seed: *seed,
 		conns: *conns, requests: *requests, batch: *batch,
-		swapMS: *swapMS, golden: *golden,
+		swapMS: *swapMS, golden: *golden, traceEvery: *traceN,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "knnload:", err)
@@ -433,6 +477,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%-8s %6d req %8d queries  %8.0f q/s  p50 %7.0fus  p99 %7.0fus  p999 %7.0fus  errors %d  rejected %d  swaps %d  golden_bad %d\n",
 			res.Shape, res.Requests, res.Queries, res.QPS, res.P50us, res.P99us, res.P999us,
 			res.Errors, res.Rejected, res.Swaps, res.GoldenBad)
+		if res.P99Trace != "" {
+			fmt.Fprintf(os.Stderr, "%-8s tail traces: p99 %s  p999 %s\n", "", res.P99Trace, res.P999Trace)
+		}
 		if res.Errors > 0 || res.GoldenBad > 0 || res.Requests == 0 {
 			failed = true
 		}

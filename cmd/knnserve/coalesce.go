@@ -3,6 +3,8 @@ package main
 import (
 	"sync/atomic"
 	"time"
+
+	"sepdc"
 )
 
 // The coalescer is the admission-control and batching layer between the
@@ -41,6 +43,13 @@ type op struct {
 	queries [][]float64 // caller-owned; read only during the pass
 	closed  bool
 
+	// trace is the request's trace context (zero = untraced, the pooled
+	// reset state); enq/deq bound the queue span: admission by the HTTP
+	// handler and pickup by the coalescer goroutine.
+	trace sepdc.TraceContext
+	enq   time.Time
+	deq   time.Time
+
 	res   [][]int // one row per query, views into arena
 	arena []int   // op-owned id storage, grows once per size class
 	epoch uint64  // generation ordinal that served the op
@@ -69,11 +78,12 @@ type replica struct {
 	stop chan struct{}
 
 	// Per-pass scratch, reused: the ops gathered this round, the
-	// per-mode (open/closed) op groupings, and the query slice handed
-	// to the Batcher.
+	// per-mode (open/closed) op groupings, and the query and per-query
+	// trace slices handed to the Batcher.
 	batch  []*op
 	groups [2][]*op
 	qbuf   [][]float64
+	tbuf   []sepdc.TraceContext
 
 	timer *time.Timer
 
@@ -89,6 +99,7 @@ func newReplica(s *server, idx int) *replica {
 		stop:  make(chan struct{}),
 		batch: make([]*op, 0, 64),
 		qbuf:  make([][]float64, 0, s.cfg.maxBatch),
+		tbuf:  make([]sepdc.TraceContext, 0, s.cfg.maxBatch),
 		timer: time.NewTimer(time.Hour),
 	}
 	for i := range r.groups {
@@ -123,6 +134,7 @@ func (r *replica) loop() {
 			r.drain()
 			return
 		}
+		first.deq = time.Now()
 		r.batch = append(r.batch[:0], first)
 		nq := len(first.queries)
 
@@ -135,6 +147,7 @@ func (r *replica) loop() {
 			for nq < r.srv.cfg.maxBatch {
 				select {
 				case o := <-r.ch:
+					o.deq = time.Now()
 					r.batch = append(r.batch, o)
 					nq += len(o.queries)
 				case <-r.timer.C:
@@ -160,6 +173,7 @@ func (r *replica) drain() {
 	for {
 		select {
 		case o := <-r.ch:
+			o.deq = time.Now()
 			r.batch = append(r.batch[:0], o)
 			r.serve(r.batch)
 		default:
@@ -198,17 +212,33 @@ func (r *replica) serve(batch []*op) {
 			continue
 		}
 		r.qbuf = r.qbuf[:0]
+		r.tbuf = r.tbuf[:0]
+		traced := false
 		for _, o := range group {
 			r.qbuf = append(r.qbuf, o.queries...)
+			for range o.queries {
+				r.tbuf = append(r.tbuf, o.trace)
+			}
+			if o.trace.Valid() {
+				traced = true
+			}
+		}
+		// An all-untraced group (pooled ops reset to the zero context)
+		// takes the exact pre-tracing engine path: RunTraced(q, nil) is
+		// Run.
+		tb := r.tbuf
+		if !traced {
+			tb = nil
 		}
 		start := time.Now()
 		var err error
 		if mode == 1 {
-			err = bt.RunClosed(r.qbuf)
+			err = bt.RunClosedTraced(r.qbuf, tb)
 		} else {
-			err = bt.Run(r.qbuf)
+			err = bt.RunTraced(r.qbuf, tb)
 		}
-		r.srv.passLat.Observe(time.Since(start).Nanoseconds())
+		passNs := time.Since(start).Nanoseconds()
+		r.srv.passLat.Observe(passNs)
 		r.passes.Add(1)
 
 		qi := 0
@@ -222,6 +252,7 @@ func (r *replica) serve(batch []*op) {
 				// Validation failures are caught at decode; an error
 				// here fails the whole pass. Leave results empty.
 				o.res = o.res[:0]
+				r.publishTrace(o, gen.epoch, start, passNs)
 				o.done <- struct{}{}
 				continue
 			}
@@ -245,9 +276,34 @@ func (r *replica) serve(batch []*op) {
 				o.arena = append(o.arena, ids...)
 				o.res = append(o.res, o.arena[lo:len(o.arena):len(o.arena)])
 			}
+			r.publishTrace(o, gen.epoch, start, passNs)
 			o.done <- struct{}{}
 		}
 	}
 	gen.inflight.Add(-1)
 	pin.Unpin()
+}
+
+// publishTrace records a completed op's queue → coalesce → pass span
+// summary on the server's trace log. Must run BEFORE the op's done
+// signal (a signalled op may already be back in the pool). Untraced ops
+// (the zero context) publish nothing, so serving paths that never set a
+// trace stay allocation-identical to the pre-tracing coalescer.
+func (r *replica) publishTrace(o *op, epoch uint64, passStart time.Time, passNs int64) {
+	if !o.trace.Valid() {
+		return
+	}
+	now := time.Now()
+	r.srv.traces.Publish(sepdc.RequestTrace{
+		Trace:       o.trace,
+		StartUnixNs: o.enq.UnixNano(),
+		QueueNs:     o.deq.Sub(o.enq).Nanoseconds(),
+		CoalesceNs:  passStart.Sub(o.deq).Nanoseconds(),
+		PassNs:      passNs,
+		TotalNs:     now.Sub(o.enq).Nanoseconds(),
+		Queries:     int32(len(o.queries)),
+		Closed:      o.closed,
+		Replica:     int32(r.idx),
+		Epoch:       epoch,
+	})
 }

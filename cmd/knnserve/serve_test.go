@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -547,5 +548,198 @@ func TestServeMetricsExposed(t *testing.T) {
 	if !bytes.Contains(body, []byte("sepdc_serve_serve0_")) &&
 		!bytes.Contains(body, []byte("sepdc_serve_serve1_")) {
 		t.Fatalf("/metrics missing serve observer series:\n%.2000s", body)
+	}
+}
+
+// TestServeTraceEndToEnd: a request carrying a W3C traceparent is
+// traceable through the whole serving path — the context is echoed on
+// the response, the request's span summary appears on /traces, every
+// per-query journal event is stamped with the trace id and a derived
+// child span, and the trace renders as Chrome trace_event JSON.
+func TestServeTraceEndToEnd(t *testing.T) {
+	const (
+		hdr     = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+		traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	)
+	srv, ts := newTestServer(t, testConfig())
+	client := ts.Client()
+	queries := testQueries(srv, 6, 55)
+
+	body, _ := json.Marshal(jsonQueryRequest{Queries: queries})
+	req, err := http.NewRequest("POST", ts.URL+"/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Traceparent", hdr)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query: %s", resp.Status)
+	}
+	if got := resp.Header.Get("Traceparent"); got != hdr {
+		t.Fatalf("traceparent echo %q, want %q", got, hdr)
+	}
+
+	// The request's queue → coalesce → pass span summary is on /traces.
+	get := func(path string) (int, string) {
+		t.Helper()
+		r, err := client.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		return r.StatusCode, string(b)
+	}
+	status, traces := get("/traces?id=" + traceID)
+	if status != http.StatusOK {
+		t.Fatalf("/traces?id=: %d: %s", status, traces)
+	}
+	var line struct {
+		Engine  string `json:"engine"`
+		TraceID string `json:"trace_id"`
+		SpanID  string `json:"span_id"`
+		Sampled bool   `json:"sampled"`
+		QueueNs int64  `json:"queue_ns"`
+		PassNs  int64  `json:"pass_ns"`
+		TotalNs int64  `json:"total_ns"`
+		Queries int32  `json:"queries"`
+	}
+	if err := json.Unmarshal([]byte(strings.Split(strings.TrimSpace(traces), "\n")[0]), &line); err != nil {
+		t.Fatalf("bad /traces line: %v\n%s", err, traces)
+	}
+	if line.Engine != "serve" || line.TraceID != traceID || !line.Sampled ||
+		line.Queries != int32(len(queries)) {
+		t.Fatalf("/traces line: %+v", line)
+	}
+	if line.QueueNs < 0 || line.PassNs <= 0 || line.TotalNs < line.PassNs {
+		t.Fatalf("span split not coherent: %+v", line)
+	}
+
+	// Every query of the request journals under the trace, each with its
+	// own derived child span; the sampled flag forced the timed path.
+	_, journal := get("/journal")
+	spans := map[string]bool{}
+	for _, jl := range strings.Split(strings.TrimSpace(journal), "\n") {
+		var ev struct {
+			TraceID   string `json:"trace_id"`
+			SpanID    string `json:"span_id"`
+			Sampled   bool   `json:"sampled"`
+			LatencyNs int64  `json:"latency_ns"`
+		}
+		if err := json.Unmarshal([]byte(jl), &ev); err != nil {
+			t.Fatalf("bad journal line %q: %v", jl, err)
+		}
+		if ev.TraceID != traceID {
+			continue
+		}
+		if len(ev.SpanID) != 16 {
+			t.Fatalf("journal event span id %q", ev.SpanID)
+		}
+		if !ev.Sampled || ev.LatencyNs <= 0 {
+			t.Fatalf("sampled traceparent did not force the timed path: %s", jl)
+		}
+		spans[ev.SpanID] = true
+	}
+	if len(spans) != len(queries) {
+		t.Fatalf("journal carries %d spans for the trace, want %d", len(spans), len(queries))
+	}
+
+	// The trace renders as Chrome trace_event JSON with request and
+	// per-query lanes.
+	status, chrome := get("/traces?id=" + traceID + "&format=chrome")
+	if status != http.StatusOK {
+		t.Fatalf("chrome render: %d: %s", status, chrome)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(chrome), &doc); err != nil {
+		t.Fatalf("chrome render not JSON: %v", err)
+	}
+	byName := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		byName[ev.Name]++
+	}
+	for _, want := range []string{"queue", "coalesce", "pass", "descend", "scan"} {
+		if byName[want] == 0 {
+			t.Fatalf("chrome render missing %q spans: %v", want, byName)
+		}
+	}
+	if byName["descend"] != len(queries) {
+		t.Fatalf("%d descend spans, want one per query (%d)", byName["descend"], len(queries))
+	}
+
+	// The trace rides the latency histograms as an OpenMetrics exemplar
+	// even though no tick-sampled observation has landed yet — exactly
+	// the fresh-recorder state a scrape sees right after a swap. A
+	// forced query must never feed the bucket counts themselves.
+	_, metrics := get("/metrics")
+	if !strings.Contains(metrics, `trace_id="`+traceID+`"`) {
+		t.Fatalf("traced request left no exemplar on /metrics:\n%s", metrics)
+	}
+
+	// A request without a traceparent gets a server-generated, unsampled
+	// context — still echoed, still valid.
+	resp2, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	gen, ok := sepdc.ParseTraceparent(resp2.Header.Get("Traceparent"))
+	if !ok || gen.Sampled {
+		t.Fatalf("generated traceparent %q (ok=%v sampled=%v)",
+			resp2.Header.Get("Traceparent"), ok, gen.Sampled)
+	}
+}
+
+// TestCoalescerTracedOpAllocs: tracing must not cost the coalescer its
+// zero-allocation steady state — a warm op carrying a sampled trace
+// context (the most expensive variant: timed engine path, journal trace
+// stamps, and a TraceSink publish per op) still allocates nothing.
+func TestCoalescerTracedOpAllocs(t *testing.T) {
+	cfg := testConfig()
+	cfg.replicas = 1
+	cfg.maxBatch = 8
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tc, ok := sepdc.ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if !ok {
+		t.Fatal("test vector rejected")
+	}
+	queries := testQueries(srv, 8, 99)
+	o := newOp()
+	o.queries = queries
+	o.trace = tc
+	run := func() {
+		o.enq = time.Now()
+		if !srv.reps[0].submit(o) {
+			t.Fatal("queue full with no traffic")
+		}
+		<-o.done
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+	}
+	for i := 0; i < 1000; i++ { // warm arenas, rings, and the trace sink
+		run()
+	}
+	if avg := testing.AllocsPerRun(200, run); avg != 0 {
+		t.Fatalf("traced coalescer steady state allocates: %.2f allocs/op", avg)
+	}
+	if srv.traces.Snapshot() == nil {
+		t.Fatal("no request traces published")
 	}
 }

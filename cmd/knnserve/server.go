@@ -98,6 +98,13 @@ type server struct {
 
 	journals []*sepdc.QueryJournal
 
+	// traces is the request-trace log behind /traces: every request gets
+	// a trace context (parsed from its traceparent header, else generated
+	// deterministically from the process seed and traceN) and publishes a
+	// queue → coalesce → pass span summary on completion.
+	traces *sepdc.TraceLog
+	traceN atomic.Uint64 // per-request counter for generated trace ids
+
 	// fr, when configured, burns the passLat SLO and captures flight
 	// bundles; the evaluator goroutine ticks it because the serving hot
 	// path never has a "between Runs" moment of its own.
@@ -144,6 +151,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	for i := range s.journals {
 		s.journals[i] = sepdc.NewQueryJournal(observerName(i), sepdc.QueryJournalConfig{PerStrand: cfg.ringSize})
 	}
+	s.traces = sepdc.NewTraceLog("serve", sepdc.TraceLogConfig{})
 
 	gen, err := s.buildGeneration(cfg.seed)
 	if err != nil {
@@ -182,7 +190,7 @@ func (s *server) startFlight() error {
 	if err != nil {
 		return err
 	}
-	if err := fr.Watch("serve_pass", s.passLat.Snapshot, s.journals[0], nil); err != nil {
+	if err := fr.Watch("serve_pass", s.passLat.Snapshot, s.journals[0], nil, s.traces); err != nil {
 		return err
 	}
 	s.fr = fr
@@ -298,6 +306,7 @@ func (s *server) getOp() *op { return s.opPool.Get().(*op) }
 func (s *server) putOp(o *op) {
 	o.queries = o.queries[:0]
 	o.err = nil
+	o.trace = sepdc.TraceContext{}
 	s.opPool.Put(o)
 }
 
@@ -321,12 +330,13 @@ func (s *server) Close() {
 	for _, j := range s.journals {
 		j.Close()
 	}
+	s.traces.Close()
 }
 
 // ---- HTTP layer ----
 
 // handler returns the service mux: the query/swap/health endpoints plus
-// the full observability surface (/metrics, /statsz, /journal).
+// the full observability surface (/metrics, /statsz, /journal, /traces).
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
@@ -336,6 +346,7 @@ func (s *server) handler() http.Handler {
 	mux.Handle("/metrics", mh)
 	mux.Handle("/statsz", mh)
 	mux.Handle("/journal", mh)
+	mux.Handle("/traces", mh)
 	return mux
 }
 
@@ -369,15 +380,23 @@ func (s *server) handleQuery(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
 		return
 	}
+	// Every request is traced: a valid traceparent header adopts the
+	// caller's context (a sampled one forces the engine's timed path for
+	// the request's queries); anything else gets a deterministic
+	// server-generated, unsampled context.
+	tc, ok := sepdc.ParseTraceparent(req.Header.Get("Traceparent"))
+	if !ok {
+		tc = sepdc.GenerateTrace(s.cfg.seed, s.traceN.Add(1)-1)
+	}
 	body := http.MaxBytesReader(w, req.Body, s.cfg.maxBody)
 	if req.Header.Get("Content-Type") == binaryContentType {
-		s.handleQueryBinary(w, body)
+		s.handleQueryBinary(w, body, tc)
 		return
 	}
-	s.handleQueryJSON(w, body)
+	s.handleQueryJSON(w, body, tc)
 }
 
-func (s *server) handleQueryBinary(w http.ResponseWriter, body io.Reader) {
+func (s *server) handleQueryBinary(w http.ResponseWriter, body io.Reader, tc sepdc.TraceContext) {
 	pb := bufPool.Get().(*pooledBuf)
 	defer bufPool.Put(pb)
 	var err error
@@ -398,6 +417,8 @@ func (s *server) handleQueryBinary(w http.ResponseWriter, body io.Reader) {
 	o := s.getOp()
 	o.queries = pb.req.Queries
 	o.closed = pb.req.Closed
+	o.trace = tc
+	o.enq = time.Now()
 	if !s.serveOp(w, o) {
 		return
 	}
@@ -405,11 +426,12 @@ func (s *server) handleQueryBinary(w http.ResponseWriter, body io.Reader) {
 		func(i int) []int { return o.res[i] })
 	w.Header().Set("Content-Type", binaryContentType)
 	w.Header().Set("Sepdc-Epoch", strconv.FormatUint(o.epoch, 10))
+	w.Header().Set("Traceparent", tc.Traceparent())
 	w.Write(pb.resp)
 	s.putOp(o)
 }
 
-func (s *server) handleQueryJSON(w http.ResponseWriter, body io.Reader) {
+func (s *server) handleQueryJSON(w http.ResponseWriter, body io.Reader, tc sepdc.TraceContext) {
 	var jreq jsonQueryRequest
 	if err := json.NewDecoder(body).Decode(&jreq); err != nil {
 		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
@@ -435,6 +457,8 @@ func (s *server) handleQueryJSON(w http.ResponseWriter, body io.Reader) {
 	o := s.getOp()
 	o.queries = jreq.Queries
 	o.closed = jreq.Closed
+	o.trace = tc
+	o.enq = time.Now()
 	if !s.serveOp(w, o) {
 		return
 	}
@@ -444,6 +468,7 @@ func (s *server) handleQueryJSON(w http.ResponseWriter, body io.Reader) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Sepdc-Epoch", strconv.FormatUint(o.epoch, 10))
+	w.Header().Set("Traceparent", tc.Traceparent())
 	json.NewEncoder(w).Encode(resp)
 	s.putOp(o)
 }

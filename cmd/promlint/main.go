@@ -6,12 +6,17 @@
 //	promlint -gauge 'sepdc_audit_pass:1:1' metrics.txt
 //	promlint -gauge 'sepdc_audit_iota_ratio:0:1' -gauge 'sepdc_audit_pass:1:1' metrics.txt
 //	promlint -prev scrape1.txt scrape2.txt
+//	promlint -exemplar sepdc_serve_serve0_latency_ns metrics.txt
 //
 // Every series of an asserted family must exist and lie within
 // [min, max]; otherwise promlint prints the violation and exits 1.
 // With -prev, counter series (including histogram buckets/counts) must
-// not decrease from the previous scrape to the current one. CI uses it
-// to gate the /metrics scrape of cmd/knn -audit.
+// not decrease from the previous scrape to the current one. With
+// -exemplar, at least one series of the named family (its _bucket
+// series for a histogram) must carry an OpenMetrics exemplar — the lint
+// pass has already validated exemplar placement, label syntax, and the
+// 128-rune budget by then. CI uses promlint to gate the /metrics scrape
+// of cmd/knn -audit and the traced scrape of the serve smoke test.
 package main
 
 import (
@@ -62,6 +67,18 @@ func (g *gaugeFlags) Set(v string) error {
 	return nil
 }
 
+// stringList collects repeated string flag values (-exemplar).
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+func (l *stringList) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty family name")
+	}
+	*l = append(*l, v)
+	return nil
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "promlint:", err)
@@ -72,6 +89,8 @@ func main() {
 func run() error {
 	var checks gaugeFlags
 	flag.Var(&checks, "gauge", "assert every series of a family is in range, as name:min:max (repeatable)")
+	var exemplars stringList
+	flag.Var(&exemplars, "exemplar", "assert at least one series of this family carries an exemplar (repeatable)")
 	quiet := flag.Bool("q", false, "suppress the summary line")
 	prevPath := flag.String("prev", "", "earlier scrape of the same target; counters must not decrease from it")
 	flag.Parse()
@@ -126,12 +145,26 @@ func run() error {
 			}
 		}
 	}
+	for _, name := range exemplars {
+		found := false
+		for i := range exp.Series {
+			s := &exp.Series[i]
+			if (s.Name == name || s.Name == name+"_bucket") && s.Exemplar != nil {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "promlint: %s: no exemplar on any series of family %s\n", src, name)
+			violations++
+		}
+	}
 	if violations > 0 {
-		return fmt.Errorf("%d gauge assertion(s) failed", violations)
+		return fmt.Errorf("%d assertion(s) failed", violations)
 	}
 	if !*quiet {
 		fmt.Printf("promlint: %s: %d series in %d families ok (%d assertions)\n",
-			src, len(exp.Series), len(exp.Types), len(checks))
+			src, len(exp.Series), len(exp.Types), len(checks)+len(exemplars))
 	}
 	return nil
 }

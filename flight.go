@@ -82,7 +82,7 @@ func (fr *FlightRecorder) WatchBatcher(name string, bt *Batcher, qj *QueryJourna
 	if fr == nil || bt == nil {
 		return fmt.Errorf("sepdc: WatchBatcher needs a recorder and a Batcher")
 	}
-	return fr.Watch(name, func() obs.Hist { return bt.b.Stats().Latency }, qj, o)
+	return fr.Watch(name, func() obs.Hist { return bt.b.Stats().Latency }, qj, o, nil)
 }
 
 // Watch is the source-agnostic form of WatchBatcher: latency supplies
@@ -92,8 +92,12 @@ func (fr *FlightRecorder) WatchBatcher(name string, bt *Batcher, qj *QueryJourna
 // histogram here instead of binding the recorder to one Batcher's
 // lifetime. The read contract is the source's own: an AtomicHist-backed
 // source may be evaluated concurrently with serving, a Batcher-backed
-// one only between Runs. Call once, before Evaluate.
-func (fr *FlightRecorder) Watch(name string, latency func() obs.Hist, qj *QueryJournal, o *ServeObserver) error {
+// one only between Runs. tl, when non-nil, folds the trace log's
+// retained request traces (slowest tail first) into each bundle as
+// traces.jsonl — a burn-rate trip freezes the end-to-end spans of the
+// slowest complete requests alongside the journal evidence. Call once,
+// before Evaluate.
+func (fr *FlightRecorder) Watch(name string, latency func() obs.Hist, qj *QueryJournal, o *ServeObserver, tl *TraceLog) error {
 	if fr == nil || latency == nil {
 		return fmt.Errorf("sepdc: Watch needs a recorder and a latency source")
 	}
@@ -109,6 +113,9 @@ func (fr *FlightRecorder) Watch(name string, latency func() obs.Hist, qj *QueryJ
 	}
 	if o != nil {
 		src.Serve = o.rec
+	}
+	if tl != nil {
+		src.Traces = tl.t.Retained
 	}
 	rec := flight.New(flight.Config{
 		Dir:      fr.cfg.Dir,

@@ -14,6 +14,9 @@
 //	journal.jsonl wide events, non-consuming snapshot, (batch, query) order
 //	tail.json     ServeSnapshot: histograms, window quantiles, slowest
 //	              queries with their descent paths
+//	traces.jsonl  request traces (slowest-tail first, then the recent
+//	              ring) — the end-to-end spans of the requests worth
+//	              keeping at the moment of the trip
 //	runtime.json  runtime/metrics gauge values at capture time
 //	trace.out     runtime/trace segment over the capture window
 //	cpu.pprof     CPU profile over the same window
@@ -81,6 +84,9 @@ type Sources struct {
 	Serve *obs.ServeRecorder
 	// Runtime supplies runtime.json (runtimeobs.Sampler.Snapshot fits).
 	Runtime func() map[string]float64
+	// Traces supplies traces.jsonl (obs.TraceSink.Retained fits: the
+	// slowest retained requests first, then the recent ring).
+	Traces func() []obs.RequestTrace
 	// Extra is folded into meta.json verbatim (SLO status, build info).
 	Extra func() any
 }
@@ -164,6 +170,7 @@ type meta struct {
 	Reason     string           `json:"reason"`
 	Window     string           `json:"window"`
 	Journal    *journalMeta     `json:"journal,omitempty"`
+	Traces     *int             `json:"traces,omitempty"` // request traces in traces.jsonl
 	Gauges     []obs.GaugeValue `json:"gauges,omitempty"`
 	Errors     []string         `json:"errors,omitempty"` // partial-capture notes
 	Extra      any              `json:"extra,omitempty"`
@@ -219,6 +226,22 @@ func (r *Recorder) capture(reason string) (string, error) {
 	if r.src.Serve != nil {
 		if err := writeJSON(filepath.Join(tmp, "tail.json"), r.src.Serve.Snapshot()); err != nil {
 			return "", err
+		}
+	}
+	if r.src.Traces != nil {
+		traces := r.src.Traces()
+		n := len(traces)
+		m.Traces = &n
+		f, err := os.Create(filepath.Join(tmp, "traces.jsonl"))
+		if err != nil {
+			return "", fmt.Errorf("flight: %w", err)
+		}
+		werr := obs.WriteRequestTracesJSONL(f, traces)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return "", fmt.Errorf("flight: traces.jsonl: %w", werr)
 		}
 	}
 	if r.src.Runtime != nil {
@@ -331,6 +354,37 @@ func CheckBundle(dir string) error {
 		}
 		if lines != m.Journal.Events {
 			return fmt.Errorf("flight: journal.jsonl has %d events, meta.json recorded %d", lines, m.Journal.Events)
+		}
+	}
+	if m.Traces != nil {
+		raw, err := os.ReadFile(filepath.Join(dir, "traces.jsonl"))
+		if err != nil {
+			return fmt.Errorf("flight: %w", err)
+		}
+		lines := 0
+		for len(raw) > 0 {
+			nl := -1
+			for i, c := range raw {
+				if c == '\n' {
+					nl = i
+					break
+				}
+			}
+			if nl < 0 {
+				return fmt.Errorf("flight: traces.jsonl: unterminated final line")
+			}
+			var rt obs.RequestTrace
+			if err := json.Unmarshal(raw[:nl], &rt); err != nil {
+				return fmt.Errorf("flight: traces.jsonl line %d: %w", lines, err)
+			}
+			if len(rt.TraceID) != 32 {
+				return fmt.Errorf("flight: traces.jsonl line %d: trace_id %q is not 32 hex digits", lines, rt.TraceID)
+			}
+			raw = raw[nl+1:]
+			lines++
+		}
+		if lines != *m.Traces {
+			return fmt.Errorf("flight: traces.jsonl has %d traces, meta.json recorded %d", lines, *m.Traces)
 		}
 	}
 	// trace.out / cpu.pprof must exist unless meta.json noted why not.

@@ -220,3 +220,82 @@ func TestNilRecorder(t *testing.T) {
 		t.Fatal("nil Captures")
 	}
 }
+
+// TestCaptureBundleTraces: a recorder wired to a trace sink freezes the
+// retained request traces into traces.jsonl, records the count in
+// meta.json, and CheckBundle holds the file to that count and to
+// well-formed trace ids.
+func TestCaptureBundleTraces(t *testing.T) {
+	sink := obs.NewTraceSink(obs.TraceSinkConfig{Ring: 8, Tail: 2})
+	for n := uint64(0); n < 5; n++ {
+		tc := obs.GenTrace(13, n)
+		sink.Publish(obs.RequestTrace{
+			Trace:       tc,
+			StartUnixNs: int64(1000 + n),
+			QueueNs:     10, CoalesceNs: 20, PassNs: 100 + int64(n)*50,
+			TotalNs: 130 + int64(n)*50, Queries: 3, Replica: 0, Epoch: 1,
+		})
+	}
+	src := testSources()
+	src.Traces = sink.Retained
+
+	dir := t.TempDir()
+	r := New(Config{Dir: dir, Window: 10 * time.Millisecond}, src)
+	bundle, err := r.Capture("trace-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBundle(bundle); err != nil {
+		t.Fatalf("CheckBundle: %v", err)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(bundle, "traces.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("traces.jsonl has %d lines, want 5", len(lines))
+	}
+	ids := map[string]bool{}
+	for _, ln := range lines {
+		var rt obs.RequestTrace
+		if err := json.Unmarshal([]byte(ln), &rt); err != nil {
+			t.Fatalf("bad line %q: %v", ln, err)
+		}
+		if len(rt.TraceID) != 32 || len(rt.SpanID) != 16 {
+			t.Fatalf("ids not rendered: %q", ln)
+		}
+		ids[rt.TraceID] = true
+	}
+	// The slowest request (n=4) survives; the frozen set is the sink's
+	// Retained view, deduplicated.
+	if len(ids) != 5 {
+		t.Fatalf("%d distinct traces, want 5", len(ids))
+	}
+	if !ids[obs.GenTrace(13, 4).TraceIDString()] {
+		t.Fatal("slowest trace missing from the bundle")
+	}
+
+	var m struct {
+		Traces *int `json:"traces"`
+	}
+	mraw, err := os.ReadFile(filepath.Join(bundle, "meta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(mraw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Traces == nil || *m.Traces != 5 {
+		t.Fatalf("meta traces = %v, want 5", m.Traces)
+	}
+
+	// Truncating traces.jsonl breaks the bundle's integrity check.
+	if err := os.WriteFile(filepath.Join(bundle, "traces.jsonl"), []byte(lines[0]+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBundle(bundle); err == nil || !strings.Contains(err.Error(), "traces.jsonl") {
+		t.Fatalf("CheckBundle accepted truncated traces.jsonl: %v", err)
+	}
+}

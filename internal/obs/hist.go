@@ -132,14 +132,18 @@ func (h *histogram) snapshot() Hist {
 		if c == 0 {
 			continue
 		}
-		le := int64(1)<<uint(i) - 1
-		if i == histBuckets-1 {
-			// The top bucket is an overflow bucket (it holds every value
-			// of bit length ≥ histBuckets−1); its honest upper bound is
-			// unbounded, not 2^{histBuckets−1} − 1.
-			le = math.MaxInt64
-		}
-		out.Buckets = append(out.Buckets, Bucket{Le: le, Count: c})
+		out.Buckets = append(out.Buckets, Bucket{Le: bucketLe(i), Count: c})
 	}
 	return out
+}
+
+// bucketLe returns bucket i's inclusive upper bound in export form:
+// 2^i − 1, except the top bucket, which is an overflow bucket (it holds
+// every value of bit length ≥ histBuckets−1) whose honest upper bound
+// is unbounded, not 2^{histBuckets−1} − 1.
+func bucketLe(i int) int64 {
+	if i == histBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
 }

@@ -28,7 +28,16 @@ import (
 //	           journal; ?drain=1 consumes (subsequent drains return only
 //	           newer events, and events overwritten between drains count
 //	           as dropped). Ring accounting travels in the
-//	           Sepdc-Journal-Published / -Dropped response headers.
+//	           Sepdc-Journal-Published / -Dropped headers; saturation
+//	           detection without a second /metrics hit rides on
+//	           X-Journal-Drained (events in this response) and
+//	           X-Journal-Overwritten (events the rings evicted).
+//	/traces  — the request-trace sinks as JSON Lines: one completed
+//	           request per line with its queue/coalesce/pass span split.
+//	           ?name=<engine> filters to one sink; ?id=<32 hex> returns
+//	           only that trace; ?slowest=1 returns the retained slow
+//	           tail; &format=chrome (with id=) renders one trace as
+//	           Chrome trace_event JSON with request and strand lanes.
 //
 // Mount it on any mux; cmd/knn wires it into -debug-addr alongside
 // expvar and pprof.
@@ -37,6 +46,7 @@ func Handler() http.Handler {
 	mux.HandleFunc("/metrics", serveMetrics)
 	mux.HandleFunc("/statsz", serveStatsz)
 	mux.HandleFunc("/journal", serveJournal)
+	mux.HandleFunc("/traces", serveTraces)
 	return mux
 }
 
@@ -75,7 +85,7 @@ func serveMetrics(w http.ResponseWriter, req *http.Request) {
 		pw.Gauge("sepdc_serve_"+name+"_sample_every",
 			"Sampling period: 1 in this many queries is fully timed.",
 			promtext.GaugeSample{Value: float64(s.SampleEvery)})
-		histFam(pw, "sepdc_serve_"+name+"_latency_ns", "Sampled per-query latency (descent+scan), nanoseconds.", l, s.Latency)
+		histFamEx(pw, "sepdc_serve_"+name+"_latency_ns", "Sampled per-query latency (descent+scan), nanoseconds.", l, s.Latency, s.LatencyExemplars)
 		histFam(pw, "sepdc_serve_"+name+"_descent_ns", "Sampled per-query septree descent time, nanoseconds.", l, s.Descent)
 		histFam(pw, "sepdc_serve_"+name+"_leaf_scan_ns", "Sampled per-query leaf candidate-scan time, nanoseconds.", l, s.Scan)
 		histFam(pw, "sepdc_serve_"+name+"_nodes_visited", "Sampled per-query septree nodes visited (Theorem 3.1: O(log n)).", l, s.Nodes)
@@ -135,15 +145,47 @@ func serveMetrics(w http.ResponseWriter, req *http.Request) {
 // upper bounds, MaxInt64 sentinel top bucket) into the cumulative
 // +Inf-terminated form the exposition requires.
 func histFam(pw *promtext.Writer, name, help string, labels []promtext.Label, h Hist) {
-	pts := make([]promtext.BucketPoint, 0, len(h.Buckets)+1)
-	cum := int64(0)
+	histFamEx(pw, name, help, labels, h, nil)
+}
+
+// histFamEx is histFam with OpenMetrics exemplars attached to the
+// buckets they exemplify (matched by the bucket's inclusive upper
+// bound). Exemplar timestamps convert to the exposition's unix seconds.
+func histFamEx(pw *promtext.Writer, name, help string, labels []promtext.Label, h Hist, exs []LatencyExemplar) {
+	byLe := make(map[int64]*promtext.Exemplar, len(exs))
+	for i := range exs {
+		e := exs[i]
+		byLe[e.Le] = &promtext.Exemplar{
+			Labels: []promtext.Label{{Name: "trace_id", Value: e.TraceID}},
+			Value:  float64(e.ValueNs),
+			Ts:     float64(e.UnixNs) / 1e9,
+		}
+	}
+	// An exemplar may sit in a bucket the snapshot elides: Hist.Buckets
+	// lists non-empty buckets only, and RecordExemplar deliberately does
+	// not feed the aggregate counts. Union those Les in as zero-count
+	// cumulative points so every exemplar has a bucket line to ride.
+	counts := make(map[int64]int64, len(h.Buckets))
+	les := make([]int64, 0, len(h.Buckets)+len(byLe))
 	for _, b := range h.Buckets {
-		cum += b.Count
-		le := float64(b.Le)
-		if b.Le == math.MaxInt64 {
+		counts[b.Le] = b.Count
+		les = append(les, b.Le)
+	}
+	for le := range byLe {
+		if _, ok := counts[le]; !ok {
+			les = append(les, le)
+		}
+	}
+	sort.Slice(les, func(i, j int) bool { return les[i] < les[j] })
+	pts := make([]promtext.BucketPoint, 0, len(les))
+	cum := int64(0)
+	for _, leRaw := range les {
+		cum += counts[leRaw]
+		le := float64(leRaw)
+		if leRaw == math.MaxInt64 {
 			le = math.Inf(1)
 		}
-		pts = append(pts, promtext.BucketPoint{Le: le, CumCount: cum})
+		pts = append(pts, promtext.BucketPoint{Le: le, CumCount: cum, Exemplar: byLe[leRaw]})
 	}
 	pw.Histogram(name, help, labels, pts, float64(h.Sum), h.Count)
 }
@@ -230,7 +272,7 @@ func serveJournal(w http.ResponseWriter, req *http.Request) {
 		d    JournalDrain
 	}
 	var drains []engineDrain
-	var published, dropped uint64
+	var published, dropped, drained, overwritten uint64
 	for _, name := range names {
 		if filter != "" && name != filter {
 			continue
@@ -243,16 +285,118 @@ func serveJournal(w http.ResponseWriter, req *http.Request) {
 		}
 		published += d.Published
 		dropped += d.Dropped
+		drained += uint64(len(d.Events))
+		overwritten += journals[name].Accounting().Overwritten
 		drains = append(drains, engineDrain{name, d})
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Sepdc-Journal-Published", strconv.FormatUint(published, 10))
 	w.Header().Set("Sepdc-Journal-Dropped", strconv.FormatUint(dropped, 10))
+	// Saturation detection in one hit: how many events this response
+	// carries versus how many the rings have already evicted. A scraper
+	// seeing Overwritten grow much faster than Drained between hits knows
+	// the rings are forgetting traffic before anyone reads it.
+	w.Header().Set("X-Journal-Drained", strconv.FormatUint(drained, 10))
+	w.Header().Set("X-Journal-Overwritten", strconv.FormatUint(overwritten, 10))
 	enc := json.NewEncoder(w)
 	for _, ed := range drains {
 		for i := range ed.d.Events {
 			if err := enc.Encode(journalLine{Engine: ed.name, JournalEvent: ed.d.Events[i]}); err != nil {
 				return // connection gone; nothing left to signal on
+			}
+		}
+	}
+}
+
+// traceLine is one /traces JSONL line: the request trace plus the
+// engine (trace sink) it came from.
+type traceLine struct {
+	Engine string `json:"engine"`
+	RequestTrace
+}
+
+func serveTraces(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	filter := q.Get("name")
+	var idHi, idLo uint64
+	haveID := false
+	if id := q.Get("id"); id != "" {
+		if len(id) != 32 {
+			http.Error(w, "id must be 32 hex digits", http.StatusBadRequest)
+			return
+		}
+		hi, ok1 := parseHex64(id[:16])
+		lo, ok2 := parseHex64(id[16:])
+		if !ok1 || !ok2 || hi|lo == 0 {
+			http.Error(w, "id must be a nonzero 128-bit hex trace id", http.StatusBadRequest)
+			return
+		}
+		idHi, idLo, haveID = hi, lo, true
+	}
+	names, sinks := tracesList()
+	type engineTraces struct {
+		name   string
+		traces []RequestTrace
+	}
+	var all []engineTraces
+	var published uint64
+	for _, name := range names {
+		if filter != "" && name != filter {
+			continue
+		}
+		t := sinks[name]
+		published += t.Published()
+		var trs []RequestTrace
+		switch {
+		case haveID:
+			trs = t.Find(idHi, idLo)
+		case q.Get("slowest") == "1":
+			trs = t.Slowest()
+		default:
+			trs = t.Snapshot()
+		}
+		all = append(all, engineTraces{name, trs})
+	}
+
+	if q.Get("format") == "chrome" {
+		if !haveID {
+			http.Error(w, "format=chrome requires id=<32 hex trace id>", http.StatusBadRequest)
+			return
+		}
+		var trs []RequestTrace
+		for _, et := range all {
+			trs = append(trs, et.traces...)
+		}
+		if len(trs) == 0 {
+			http.Error(w, "trace not retained (overwritten or never seen)", http.StatusNotFound)
+			return
+		}
+		// Join the per-query descent/scan spans: every journal event
+		// stamped with this trace id belongs to the rendering.
+		var events []JournalEvent
+		jNames, journals := journalList()
+		for _, name := range jNames {
+			d := journals[name].Snapshot()
+			for i := range d.Events {
+				if d.Events[i].TraceHi == idHi && d.Events[i].TraceLo == idLo {
+					events = append(events, d.Events[i])
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteChromeTrace(w, trs, events); err != nil {
+			return // connection gone; nothing left to signal on
+		}
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Sepdc-Traces-Published", strconv.FormatUint(published, 10))
+	enc := json.NewEncoder(w)
+	for _, et := range all {
+		for i := range et.traces {
+			if err := enc.Encode(traceLine{Engine: et.name, RequestTrace: et.traces[i]}); err != nil {
+				return
 			}
 		}
 	}

@@ -24,9 +24,9 @@ import (
 //     scratch array of events while answering a chunk (plain stores, no
 //     synchronization — the strand owns the scratch) and publishes the
 //     whole chunk with ONE mutex acquisition and one compacting pass
-//     into the strand's pre-allocated ring of 48-byte records. Sixteen
-//     queries per lock keeps the amortized cost in low single-digit
-//     nanoseconds per query.
+//     into the strand's pre-allocated ring of fixed-size records.
+//     Sixteen queries per lock keeps the amortized cost in low
+//     single-digit nanoseconds per query.
 //
 //  3. Draining is scrape-path work: it locks each strand briefly, copies
 //     events out, and renders JSONL. Two read modes exist — Snapshot
@@ -62,21 +62,45 @@ type JournalEvent struct {
 	Blocked bool `json:"blocked"`
 	// LatencyNs is always DescentNs + ScanNs: the ring stores the phase
 	// split and derives the total (with Seq and Strand) at read time, so
-	// the hot path moves 48 bytes per query instead of 72.
+	// the hot path moves fewer bytes per query than the export form.
 	LatencyNs int64 `json:"latency_ns"`
 	DescentNs int64 `json:"descent_ns"`
 	ScanNs    int64 `json:"scan_ns"`
+
+	// TraceHi/TraceLo/Span carry the request's W3C trace context in raw
+	// form on the publish path; all three are zero for untraced queries.
+	// The hex strings the JSON form wants (TraceID, SpanID) are derived
+	// at read time so the hot path never touches a string.
+	TraceHi uint64 `json:"-"`
+	TraceLo uint64 `json:"-"`
+	Span    uint64 `json:"-"`
+	// StartNs is the query's wall-clock start (UnixNano), recorded only
+	// for sampled traced queries so /traces can place descent/scan spans
+	// on an absolute timeline; zero otherwise.
+	StartNs int64 `json:"start_unix_ns,omitempty"`
+	// TraceID and SpanID are the hex renderings of the raw trace fields,
+	// filled by the read path for traced events and empty ("",omitted)
+	// everywhere on the publish path.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 }
+
+// Traced reports whether the event carries a trace context.
+func (e *JournalEvent) Traced() bool { return e.TraceHi|e.TraceLo != 0 }
 
 // journalRec is the stored form of a JournalEvent: the fields the ring
 // must remember. Seq is the ring position + 1, Strand is the owning
-// strand's index, and LatencyNs is DescentNs + ScanNs — all derivable,
-// none stored. 48 bytes versus JournalEvent's 72 means a third less
-// write traffic per published query and a third more retained history
-// per ring byte.
+// strand's index, LatencyNs is DescentNs + ScanNs, and the TraceID /
+// SpanID hex strings render from the raw ids — all derivable, none
+// stored. 80 bytes versus the export form's ~130 (with strings) keeps
+// write traffic down and retained history per ring byte up; the four
+// trace words are zero for untraced queries and cost only their stores.
 type journalRec struct {
 	batch             int64
 	descentNs, scanNs int64
+	traceHi, traceLo  uint64
+	span              uint64
+	startNs           int64
 	query, leaf       int32
 	nodes, scanned    int32
 	reported          int32
@@ -190,7 +214,9 @@ func (s *JournalStrand) Publish(events []JournalEvent) {
 		e := &src[i]
 		s.ring[pos] = journalRec{
 			batch: e.Batch, descentNs: e.DescentNs, scanNs: e.ScanNs,
-			query: e.Query, leaf: e.Leaf, nodes: e.Nodes,
+			traceHi: e.TraceHi, traceLo: e.TraceLo, span: e.Span,
+			startNs: e.StartNs,
+			query:   e.Query, leaf: e.Leaf, nodes: e.Nodes,
 			scanned: e.Scanned, reported: e.Reported,
 			sampled: e.Sampled, blocked: e.Blocked,
 		}
@@ -221,14 +247,23 @@ func (s *JournalStrand) read(consume bool, out []JournalEvent) ([]JournalEvent, 
 	}
 	for pos := from; pos < s.published; pos++ {
 		r := &s.ring[pos%n]
-		out = append(out, JournalEvent{
+		ev := JournalEvent{
 			Seq: pos + 1, Batch: r.batch, Query: r.query,
 			Strand: int32(s.idx), Leaf: r.leaf, Nodes: r.nodes,
 			Scanned: r.scanned, Reported: r.reported,
 			Sampled: r.sampled, Blocked: r.blocked,
 			LatencyNs: r.descentNs + r.scanNs,
 			DescentNs: r.descentNs, ScanNs: r.scanNs,
-		})
+			TraceHi: r.traceHi, TraceLo: r.traceLo, Span: r.span,
+			StartNs: r.startNs,
+		}
+		if ev.Traced() {
+			// Hex rendering is scrape-path work: the strings exist only
+			// in the export copy, never in the ring.
+			ev.TraceID = TraceIDString(r.traceHi, r.traceLo)
+			ev.SpanID = SpanIDString(r.span)
+		}
+		out = append(out, ev)
 	}
 	return out, s.published, s.dropped
 }

@@ -1,0 +1,116 @@
+package promtext
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestExemplarRoundTrip: exemplars the Writer emits on histogram
+// buckets must pass Lint and parse back with labels, value, and
+// timestamp intact.
+func TestExemplarRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Histogram("lat_ns", "Latency.", nil,
+		[]BucketPoint{
+			{Le: 255, CumCount: 10},
+			{Le: 1023, CumCount: 40, Exemplar: &Exemplar{
+				Labels: []Label{{"trace_id", "4bf92f3577b34da6a3ce929d0e0e4736"}},
+				Value:  612, Ts: 1700000000.25,
+			}},
+			{Le: math.Inf(1), CumCount: 45, Exemplar: &Exemplar{
+				Labels: []Label{}, Value: 2048,
+			}},
+		}, 33000, 45)
+	if err := w.Err(); err != nil {
+		t.Fatalf("writer error: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 612 1700000000.25`) {
+		t.Fatalf("exemplar suffix missing:\n%s", out)
+	}
+	if !strings.Contains(out, "# {} 2048") {
+		t.Fatalf("empty exemplar label set must still print {}:\n%s", out)
+	}
+
+	exp, err := Lint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("lint rejected writer output: %v\n%s", err, out)
+	}
+	buckets := exp.Find("lat_ns_bucket")
+	if len(buckets) != 3 {
+		t.Fatalf("buckets: %+v", buckets)
+	}
+	if buckets[0].Exemplar != nil {
+		t.Fatal("bucket without exemplar parsed one")
+	}
+	ex := buckets[1].Exemplar
+	if ex == nil {
+		t.Fatalf("exemplar lost on parse: %+v", buckets[1])
+	}
+	if len(ex.Labels) != 1 || ex.Labels[0].Name != "trace_id" ||
+		ex.Labels[0].Value != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("exemplar labels: %+v", ex.Labels)
+	}
+	if ex.Value != 612 || ex.Ts != 1700000000.25 {
+		t.Fatalf("exemplar value/ts: %+v", ex)
+	}
+	if inf := buckets[2].Exemplar; inf == nil || len(inf.Labels) != 0 || inf.Value != 2048 || inf.Ts != 0 {
+		t.Fatalf("empty-label exemplar: %+v", inf)
+	}
+}
+
+// TestExemplarOnCounter: counters may carry exemplars too (the other
+// series type OpenMetrics allows them on).
+func TestExemplarOnCounter(t *testing.T) {
+	src := "# TYPE hits_total counter\n" +
+		"hits_total 41 # {trace_id=\"00f067aa0ba902b7\"} 1\n"
+	exp, err := Lint(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exp.Find("hits_total"); len(got) != 1 || got[0].Exemplar == nil {
+		t.Fatalf("counter exemplar: %+v", got)
+	}
+}
+
+// TestWriterRejectsBadExemplars: invalid label names and over-budget
+// label sets fail at write time, not at the scraper.
+func TestWriterRejectsBadExemplars(t *testing.T) {
+	bad := []Exemplar{
+		{Labels: []Label{{"0bad", "x"}}, Value: 1},
+		{Labels: []Label{{"trace_id", strings.Repeat("x", 128)}}, Value: 1}, // 128 + len("trace_id") > 128
+	}
+	for i, ex := range bad {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		e := ex
+		w.Histogram("h", "", nil,
+			[]BucketPoint{{Le: 7, CumCount: 2, Exemplar: &e}, {Le: math.Inf(1), CumCount: 3}}, 10, 3)
+		if w.Err() == nil {
+			t.Fatalf("case %d: bad exemplar accepted", i)
+		}
+	}
+}
+
+// TestLintRejectsBadExemplars: placement and syntax violations a
+// hand-rolled (or corrupted) exposition could carry.
+func TestLintRejectsBadExemplars(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"on gauge", "# TYPE g gauge\ng 1 # {trace_id=\"ab\"} 1\n"},
+		{"on histogram sum", "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 1\nh_sum 5 # {trace_id=\"ab\"} 1\nh_count 1\n"},
+		{"missing label set", "# TYPE c counter\nc 1 # 5\n"},
+		{"unterminated labels", "# TYPE c counter\nc 1 # {trace_id=\"ab\" 5\n"},
+		{"missing value", "# TYPE c counter\nc 1 # {trace_id=\"ab\"}\n"},
+		{"trailing garbage", "# TYPE c counter\nc 1 # {trace_id=\"ab\"} 5 6 7\n"},
+		{"over budget", "# TYPE c counter\nc 1 # {trace_id=\"" + strings.Repeat("x", 121) + "\"} 5\n"},
+	}
+	for _, c := range cases {
+		if _, err := Lint(strings.NewReader(c.src)); err == nil {
+			t.Fatalf("%s: accepted\n%s", c.name, c.src)
+		}
+	}
+}

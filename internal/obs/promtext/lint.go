@@ -9,11 +9,13 @@ import (
 	"strings"
 )
 
-// Series is one parsed sample line.
+// Series is one parsed sample line. Exemplar is non-nil when the line
+// carried an OpenMetrics exemplar suffix.
 type Series struct {
-	Name   string
-	Labels []Label
-	Value  float64
+	Name     string
+	Labels   []Label
+	Value    float64
+	Exemplar *Exemplar
 }
 
 // Exposition is a parsed scrape: declared families and all samples.
@@ -173,6 +175,18 @@ func parseSample(line string) (Series, error) {
 		rest = rest[end+1:]
 	}
 	rest = strings.TrimSpace(rest)
+	// An OpenMetrics exemplar may follow the value (and optional
+	// timestamp): " # {labels} value [ts]". The label set was already
+	// consumed above, so a '#' here can only start an exemplar — label
+	// values containing '#' never reach this scan.
+	if hash := strings.IndexByte(rest, '#'); hash >= 0 {
+		ex, err := parseExemplar(strings.TrimSpace(rest[hash+1:]))
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Exemplar = ex
+		rest = strings.TrimSpace(rest[:hash])
+	}
 	// A timestamp may follow the value; we accept and ignore it.
 	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
 		rest = rest[:sp]
@@ -183,6 +197,46 @@ func parseSample(line string) (Series, error) {
 	}
 	s.Value = v
 	return s, nil
+}
+
+// parseExemplar parses the exemplar suffix body (everything after the
+// "#"): a mandatory label set (possibly empty: "{}"), the exemplar
+// value, and an optional timestamp.
+func parseExemplar(body string) (*Exemplar, error) {
+	if !strings.HasPrefix(body, "{") {
+		return nil, fmt.Errorf("exemplar missing label set")
+	}
+	end := findLabelsEnd(body)
+	if end < 0 {
+		return nil, fmt.Errorf("unterminated exemplar label set")
+	}
+	labels, err := parseLabels(body[1:end])
+	if err != nil {
+		return nil, fmt.Errorf("exemplar %w", err)
+	}
+	if n := exemplarRunes(labels); n > 128 {
+		return nil, fmt.Errorf("exemplar label set is %d runes (limit 128)", n)
+	}
+	fields := strings.Fields(body[end+1:])
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("exemplar missing value")
+	}
+	if len(fields) > 2 {
+		return nil, fmt.Errorf("trailing garbage after exemplar timestamp")
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("bad exemplar value %q", fields[0])
+	}
+	ex := &Exemplar{Labels: labels, Value: v}
+	if len(fields) == 2 {
+		ts, err := parseValue(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad exemplar timestamp %q", fields[1])
+		}
+		ex.Ts = ts
+	}
+	return ex, nil
 }
 
 // findLabelsEnd locates the closing brace of a label set, honoring
@@ -305,6 +359,23 @@ func (e *Exposition) CounterMonotonic(prev *Exposition) error {
 
 // check runs the per-family semantic validations.
 func (e *Exposition) check() error {
+	// OpenMetrics restricts exemplars to counter samples and histogram
+	// bucket series; anywhere else they are a writer bug.
+	for _, s := range e.Series {
+		if s.Exemplar == nil {
+			continue
+		}
+		fam := familyOf(e.Types, s.Name)
+		switch e.Types[fam] {
+		case "counter":
+		case "histogram":
+			if !strings.HasSuffix(s.Name, "_bucket") {
+				return fmt.Errorf("exemplar on non-bucket histogram series %q", s.Name)
+			}
+		default:
+			return fmt.Errorf("exemplar on %s series %q (only counters and histogram buckets may carry exemplars)", e.Types[fam], s.Name)
+		}
+	}
 	for name, typ := range e.Types {
 		switch typ {
 		case "counter":

@@ -8,8 +8,10 @@
 // Scope is deliberately the subset the exposition format requires of a
 // scrape target: # HELP / # TYPE comment lines, label escaping,
 // cumulative le-bucketed histogram series with a +Inf bucket and _sum /
-// _count, and summary quantile series. Exemplars, timestamps and
-// OpenMetrics extensions are out of scope.
+// _count, summary quantile series, and OpenMetrics exemplars on
+// histogram buckets (` # {trace_id="..."} value [ts]` — the link from a
+// bucket count to a concrete traced request). Sample timestamps and the
+// other OpenMetrics extensions remain out of scope.
 package promtext
 
 import (
@@ -19,6 +21,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
 // Label is one name="value" pair.
@@ -30,10 +33,32 @@ type Label struct {
 // BucketPoint is one cumulative histogram bucket: CumCount observations
 // had a value ≤ Le. Use math.Inf(1) for the mandatory +Inf bucket; the
 // Writer appends one automatically if the caller's last bucket is
-// finite.
+// finite. Exemplar, when set, rides on the bucket's sample line in
+// OpenMetrics form.
 type BucketPoint struct {
 	Le       float64
 	CumCount int64
+	Exemplar *Exemplar
+}
+
+// Exemplar is one OpenMetrics exemplar: a label set (conventionally
+// trace_id), the exemplified observation's value, and an optional unix
+// timestamp in seconds (0 = omitted). Per the OpenMetrics spec the
+// combined rune length of the label names and values must not exceed
+// 128; the Writer enforces it.
+type Exemplar struct {
+	Labels []Label
+	Value  float64
+	Ts     float64
+}
+
+// exemplarRunes returns the combined rune length of the label set.
+func exemplarRunes(labels []Label) int {
+	n := 0
+	for _, l := range labels {
+		n += utf8.RuneCountInString(l.Name) + utf8.RuneCountInString(l.Value)
+	}
+	return n
 }
 
 // Quantile is one summary quantile point (e.g. {0.99, 1234}).
@@ -89,6 +114,15 @@ func (p *Writer) family(name, help, typ string) bool {
 }
 
 func (p *Writer) sample(name string, labels []Label, v float64) {
+	p.exemplarSample(name, labels, v, nil)
+}
+
+// exemplarSample emits one sample line, with an OpenMetrics exemplar
+// suffix when ex is non-nil. The exemplar's label set is validated like
+// any other (names legal, values escaped) plus the OpenMetrics 128-rune
+// budget; an empty exemplar label set still prints as "{}" as the spec
+// requires.
+func (p *Writer) exemplarSample(name string, labels []Label, v float64, ex *Exemplar) {
 	if p.err != nil {
 		return
 	}
@@ -98,7 +132,33 @@ func (p *Writer) sample(name string, labels []Label, v float64) {
 			return
 		}
 	}
-	p.printf("%s%s %s\n", name, formatLabels(labels), formatValue(v))
+	if ex == nil {
+		p.printf("%s%s %s\n", name, formatLabels(labels), formatValue(v))
+		return
+	}
+	for _, l := range ex.Labels {
+		if !validLabelName(l.Name) {
+			p.err = fmt.Errorf("promtext: invalid exemplar label name %q on %s", l.Name, name)
+			return
+		}
+	}
+	if n := exemplarRunes(ex.Labels); n > 128 {
+		p.err = fmt.Errorf("promtext: exemplar label set on %s is %d runes (limit 128)", name, n)
+		return
+	}
+	lset := formatLabels(ex.Labels)
+	if lset == "" {
+		lset = "{}"
+	}
+	if ex.Ts != 0 {
+		// Timestamps print fixed-point: %g would fall into scientific
+		// notation for any Unix epoch and some scrapers reject that.
+		p.printf("%s%s %s # %s %s %s\n", name, formatLabels(labels), formatValue(v),
+			lset, formatValue(ex.Value), strconv.FormatFloat(ex.Ts, 'f', -1, 64))
+		return
+	}
+	p.printf("%s%s %s # %s %s\n", name, formatLabels(labels), formatValue(v),
+		lset, formatValue(ex.Value))
 }
 
 // Counter emits one counter family with a single sample. The exposition
@@ -161,7 +221,7 @@ func (p *Writer) Histogram(name, help string, labels []Label, buckets []BucketPo
 				return
 			}
 		}
-		p.sample(name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", formatLe(b.Le)}), float64(b.CumCount))
+		p.exemplarSample(name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", formatLe(b.Le)}), float64(b.CumCount), b.Exemplar)
 	}
 	if !hasInf {
 		if prevCum > count {

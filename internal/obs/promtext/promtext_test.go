@@ -19,7 +19,7 @@ func TestWriterRoundTrip(t *testing.T) {
 		GaugeSample{Labels: []Label{{"pool", "aux"}}, Value: 0},
 	)
 	w.Histogram("query_latency_ns", "Per-query latency.", []Label{{"engine", "batch"}},
-		[]BucketPoint{{255, 10}, {1023, 40}, {math.Inf(1), 45}}, 33000, 45)
+		[]BucketPoint{{Le: 255, CumCount: 10}, {Le: 1023, CumCount: 40}, {Le: math.Inf(1), CumCount: 45}}, 33000, 45)
 	w.Summary("window_latency_ns", "Rolling window.", nil,
 		[]Quantile{{0.5, 400}, {0.99, 2100}}, 123456, 512)
 	if err := w.Err(); err != nil {
@@ -53,7 +53,7 @@ func TestWriterRoundTrip(t *testing.T) {
 func TestWriterAppendsInfBucket(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
-	w.Histogram("h", "", nil, []BucketPoint{{7, 2}, {63, 5}}, 100, 9)
+	w.Histogram("h", "", nil, []BucketPoint{{Le: 7, CumCount: 2}, {Le: 63, CumCount: 5}}, 100, 9)
 	if err := w.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -77,13 +77,13 @@ func TestWriterRejections(t *testing.T) {
 		}},
 		{"duplicate family", func(w *Writer) { w.Gauge("g", ""); w.Gauge("g", "") }},
 		{"descending buckets", func(w *Writer) {
-			w.Histogram("h", "", nil, []BucketPoint{{63, 5}, {7, 2}}, 0, 5)
+			w.Histogram("h", "", nil, []BucketPoint{{Le: 63, CumCount: 5}, {Le: 7, CumCount: 2}}, 0, 5)
 		}},
 		{"decreasing cumulative", func(w *Writer) {
-			w.Histogram("h", "", nil, []BucketPoint{{7, 5}, {63, 2}}, 0, 5)
+			w.Histogram("h", "", nil, []BucketPoint{{Le: 7, CumCount: 5}, {Le: 63, CumCount: 2}}, 0, 5)
 		}},
 		{"inf bucket != count", func(w *Writer) {
-			w.Histogram("h", "", nil, []BucketPoint{{math.Inf(1), 4}}, 0, 5)
+			w.Histogram("h", "", nil, []BucketPoint{{Le: math.Inf(1), CumCount: 4}}, 0, 5)
 		}},
 		{"quantile out of range", func(w *Writer) {
 			w.Summary("s", "", nil, []Quantile{{1.5, 9}}, 0, 1)

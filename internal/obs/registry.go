@@ -23,6 +23,7 @@ type registry struct {
 	mu       sync.Mutex
 	serves   map[string]*ServeRecorder
 	journals map[string]*Journal
+	traces   map[string]*TraceSink
 	gauges   map[GaugeKey]float64
 	help     map[string]string
 	info     map[string]string
@@ -31,6 +32,7 @@ type registry struct {
 var reg = registry{
 	serves:   map[string]*ServeRecorder{},
 	journals: map[string]*Journal{},
+	traces:   map[string]*TraceSink{},
 	gauges:   map[GaugeKey]float64{},
 	help:     map[string]string{},
 	info:     map[string]string{},
@@ -137,6 +139,49 @@ func LookupJournal(name string) *Journal {
 	reg.mu.Lock()
 	defer reg.mu.Unlock()
 	return reg.journals[name]
+}
+
+// RegisterTraces publishes a request-trace sink under name; the /traces
+// endpoint reads it per request. A nil sink unregisters.
+func RegisterTraces(name string, t *TraceSink) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if t == nil {
+		delete(reg.traces, name)
+		return
+	}
+	reg.traces[name] = t
+}
+
+// UnregisterTraces removes name's registration only when t still owns
+// the slot — the trace-sink counterpart of UnregisterServe.
+func UnregisterTraces(name string, t *TraceSink) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if cur, ok := reg.traces[name]; ok && cur == t {
+		delete(reg.traces, name)
+	}
+}
+
+// LookupTraces returns the trace sink registered under name, or nil.
+func LookupTraces(name string) *TraceSink {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	return reg.traces[name]
+}
+
+// tracesList returns the registered trace sinks, names sorted.
+func tracesList() ([]string, map[string]*TraceSink) {
+	reg.mu.Lock()
+	out := make(map[string]*TraceSink, len(reg.traces))
+	names := make([]string, 0, len(reg.traces))
+	for k, v := range reg.traces {
+		out[k] = v
+		names = append(names, k)
+	}
+	reg.mu.Unlock()
+	sort.Strings(names)
+	return names, out
 }
 
 // journalList returns the registered journals, names sorted.

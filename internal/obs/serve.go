@@ -267,10 +267,22 @@ type ServeStrand struct {
 	tailMu  sync.Mutex   // guards tail contents (rare inserts + snapshots)
 	tail    []TailSample // ≤ cfg.tail() entries, each with pre-allocated Path
 
-	tick uint64 // strand-local sample clock (never read by Snapshot)
+	exMu sync.Mutex // guards ex (rare traced-sample writes + snapshots)
+	ex   [histBuckets]exemplarSlot
+
+	tick uint64 // strand-local sample clock (never read by Strand's Snapshot)
 	mask uint64
 
 	_ [64]byte // keep hot strands off each other's cache lines
+}
+
+// exemplarSlot is one latency bucket's most recent traced observation:
+// the raw trace id (hex rendered at scrape time), the observed latency,
+// and its wall-clock timestamp. A zero trace id means "no exemplar yet".
+type exemplarSlot struct {
+	traceHi, traceLo uint64
+	value            int64
+	unixNs           int64
 }
 
 func newServeStrand(r *ServeRecorder) *ServeStrand {
@@ -339,6 +351,50 @@ func (s *ServeStrand) Record(descNs, scanNs int64, nodes, scanned, reported int,
 		Scanned:   scanned,
 		Reported:  reported,
 	}, path)
+}
+
+// RecordTraced is Record for a sampled query that also carries a trace
+// context: identical aggregate recording, plus the query becomes the
+// latency bucket's OpenMetrics exemplar (latest traced observation per
+// bucket wins). Traced sampled queries are a small fraction of traffic
+// — a client must both send a traceparent and win the sample tick (or
+// send it pre-sampled) — so the exemplar mutex is uncontended and the
+// fixed slot array keeps this allocation-free.
+func (s *ServeStrand) RecordTraced(descNs, scanNs int64, nodes, scanned, reported int, path []int32, tc TraceContext, unixNs int64) {
+	if s == nil {
+		return
+	}
+	s.Record(descNs, scanNs, nodes, scanned, reported, path)
+	if !tc.Valid() {
+		return
+	}
+	s.storeExemplar(descNs+scanNs, tc, unixNs)
+}
+
+// RecordExemplar stores a traced observation as its latency bucket's
+// exemplar WITHOUT feeding the aggregate telemetry. It is the record
+// for a query that took the timed path only because its request carried
+// a pre-sampled traceparent: folding such queries into the histograms,
+// window quantiles, and tail would skew the recorder's deterministic
+// 1-in-SampleEvery statistics toward whatever traffic clients happen to
+// trace, and would make an instrumented run's aggregates diverge from
+// an untraced run over the same stream. The forced path pays one
+// uncontended mutex and nothing else.
+func (s *ServeStrand) RecordExemplar(totalNs int64, tc TraceContext, unixNs int64) {
+	if s == nil || !tc.Valid() {
+		return
+	}
+	s.storeExemplar(totalNs, tc, unixNs)
+}
+
+func (s *ServeStrand) storeExemplar(totalNs int64, tc TraceContext, unixNs int64) {
+	if totalNs < 0 {
+		totalNs = 0
+	}
+	b := bucketOf(totalNs)
+	s.exMu.Lock()
+	s.ex[b] = exemplarSlot{traceHi: tc.TraceHi, traceLo: tc.TraceLo, value: totalNs, unixNs: unixNs}
+	s.exMu.Unlock()
 }
 
 func (s *ServeStrand) recordTail(ts TailSample, path []int32) {
@@ -412,6 +468,22 @@ type ServeSnapshot struct {
 
 	Window ServeQuantiles `json:"window"`
 	Tail   []TailSample   `json:"tail,omitempty"`
+
+	// LatencyExemplars is the latest traced observation per non-empty
+	// latency bucket (ascending Le) — the OpenMetrics exemplar set the
+	// /metrics handler attaches to the latency histogram so a bucket
+	// count links to a concrete trace id.
+	LatencyExemplars []LatencyExemplar `json:"latency_exemplars,omitempty"`
+}
+
+// LatencyExemplar is one latency bucket's exemplar in export form: the
+// bucket's inclusive upper bound, the hex trace id of the most recent
+// traced query that landed in it, the observed latency, and when.
+type LatencyExemplar struct {
+	Le      int64  `json:"le"`
+	TraceID string `json:"trace_id"`
+	ValueNs int64  `json:"value_ns"`
+	UnixNs  int64  `json:"unix_ns"`
 }
 
 // Snapshot merges every strand. Safe to call while strands record; the
@@ -431,6 +503,7 @@ func (r *ServeRecorder) Snapshot() *ServeSnapshot {
 		h.min = math.MaxInt64
 	}
 	var window []int64
+	var ex [histBuckets]exemplarSlot
 	for si, s := range strands {
 		snap.Queries += s.queries.Load()
 		snap.Sampled += s.sampled.Load()
@@ -456,6 +529,17 @@ func (r *ServeRecorder) Snapshot() *ServeSnapshot {
 			snap.Tail = append(snap.Tail, ts)
 		}
 		s.tailMu.Unlock()
+
+		// Merge exemplars: per bucket, the most recent traced observation
+		// across strands wins.
+		s.exMu.Lock()
+		for b := range s.ex {
+			e := s.ex[b]
+			if e.traceHi|e.traceLo != 0 && (ex[b].traceHi|ex[b].traceLo == 0 || e.unixNs > ex[b].unixNs) {
+				ex[b] = e
+			}
+		}
+		s.exMu.Unlock()
 	}
 	snap.Latency = lat.snapshot()
 	snap.Descent = desc.snapshot()
@@ -463,6 +547,17 @@ func (r *ServeRecorder) Snapshot() *ServeSnapshot {
 	snap.Nodes = nodes.snapshot()
 	snap.Scanned = cands.snapshot()
 	snap.Window = windowQuantiles(window)
+	for b := range ex {
+		if ex[b].traceHi|ex[b].traceLo == 0 {
+			continue
+		}
+		snap.LatencyExemplars = append(snap.LatencyExemplars, LatencyExemplar{
+			Le:      bucketLe(b),
+			TraceID: TraceIDString(ex[b].traceHi, ex[b].traceLo),
+			ValueNs: ex[b].value,
+			UnixNs:  ex[b].unixNs,
+		})
+	}
 	sort.Slice(snap.Tail, func(i, j int) bool {
 		if snap.Tail[i].LatencyNs != snap.Tail[j].LatencyNs {
 			return snap.Tail[i].LatencyNs > snap.Tail[j].LatencyNs

@@ -1,0 +1,170 @@
+package obs
+
+// This file is the trace-context foundation of request-scoped tracing:
+// the W3C `traceparent` header (128-bit trace id, 64-bit span id, a
+// sampled flag) parsed and formatted without allocation, plus the
+// deterministic span-id derivation the batch engine uses to give every
+// query of a traced request its own span. Design constraints match the
+// rest of the serving telemetry:
+//
+//  1. TraceContext is a fixed-size value (25 bytes) so it can ride in
+//     per-run slices, journal scratch, and ring records without any
+//     heap traffic. The zero value means "no trace" and costs one
+//     predictable branch to skip.
+//
+//  2. Parse and Append never allocate; the hex formatting the scrape
+//     path wants (JSON trace_id strings) is derived at read time, off
+//     the hot path.
+//
+//  3. Span ids are derived, not drawn: a splitmix64 finalizer over
+//     (parent span, query index) gives every query a unique, stable
+//     span id with two multiplies and three shifts — no RNG state, no
+//     clock, bit-identical across runs.
+
+// TraceContext is one request's W3C trace context: the 128-bit TraceID
+// (hi/lo halves), the 64-bit id of the current span, and the sampled
+// flag. The zero value means "untraced" (the W3C spec makes the
+// all-zero trace id invalid, so no valid context is ever mistaken for
+// it).
+type TraceContext struct {
+	TraceHi, TraceLo uint64 // 128-bit trace id
+	Span             uint64 // current span id
+	Sampled          bool   // trace-flags bit 0
+}
+
+// Valid reports whether tc carries a trace (nonzero trace id).
+func (tc TraceContext) Valid() bool { return tc.TraceHi|tc.TraceLo != 0 }
+
+// traceparentLen is the fixed length of a version-00 traceparent:
+// "00-" + 32 hex + "-" + 16 hex + "-" + 2 hex.
+const traceparentLen = 2 + 1 + 32 + 1 + 16 + 1 + 2
+
+// ParseTraceparent parses a W3C traceparent header value
+// ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>").
+// Returns ok=false for malformed values, the all-zero trace id, the
+// all-zero parent id, and the reserved version ff — the spec's invalid
+// forms. Allocation-free.
+func ParseTraceparent(s string) (TraceContext, bool) {
+	var tc TraceContext
+	if len(s) != traceparentLen || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tc, false
+	}
+	ver, ok := parseHex64(s[0:2])
+	if !ok || ver == 0xff { // version ff is forbidden by the spec
+		return tc, false
+	}
+	hi, ok1 := parseHex64(s[3:19])
+	lo, ok2 := parseHex64(s[19:35])
+	span, ok3 := parseHex64(s[36:52])
+	flags, ok4 := parseHex64(s[53:55])
+	if !ok1 || !ok2 || !ok3 || !ok4 || hi|lo == 0 || span == 0 {
+		return tc, false
+	}
+	tc.TraceHi, tc.TraceLo, tc.Span = hi, lo, span
+	tc.Sampled = flags&1 != 0
+	return tc, true
+}
+
+// AppendTraceparent appends tc as a version-00 traceparent header value.
+// Appending to a buffer with spare capacity does not allocate.
+func (tc TraceContext) AppendTraceparent(dst []byte) []byte {
+	dst = append(dst, '0', '0', '-')
+	dst = appendHex64(dst, tc.TraceHi)
+	dst = appendHex64(dst, tc.TraceLo)
+	dst = append(dst, '-')
+	dst = appendHex64(dst, tc.Span)
+	dst = append(dst, '-', '0')
+	if tc.Sampled {
+		dst = append(dst, '1')
+	} else {
+		dst = append(dst, '0')
+	}
+	return dst
+}
+
+// Traceparent returns the header value as a string (allocates; response
+// headers and tests — not the hot path).
+func (tc TraceContext) Traceparent() string {
+	return string(tc.AppendTraceparent(make([]byte, 0, traceparentLen)))
+}
+
+// TraceIDString returns the 32-hex-digit trace id (scrape-path JSON).
+func (tc TraceContext) TraceIDString() string { return TraceIDString(tc.TraceHi, tc.TraceLo) }
+
+// SpanIDString returns the 16-hex-digit span id.
+func (tc TraceContext) SpanIDString() string { return SpanIDString(tc.Span) }
+
+// TraceIDString formats a 128-bit trace id as 32 lowercase hex digits.
+func TraceIDString(hi, lo uint64) string {
+	b := make([]byte, 0, 32)
+	b = appendHex64(b, hi)
+	b = appendHex64(b, lo)
+	return string(b)
+}
+
+// SpanIDString formats a 64-bit span id as 16 lowercase hex digits.
+func SpanIDString(span uint64) string {
+	return string(appendHex64(make([]byte, 0, 16), span))
+}
+
+// ChildSpan derives a child span id from a parent span and a salt (the
+// batch engine salts with the query's index, so every query of a traced
+// request gets a distinct, deterministic span). splitmix64 finalizer:
+// well-mixed, never returns 0 for a valid parent (0 maps to 0 only when
+// parent^salt-mix collides, which the +1 fallback closes).
+func ChildSpan(parent, salt uint64) uint64 {
+	z := parent ^ (salt+1)*0x9e3779b97f4a7c15
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1 // the all-zero span id is invalid per the W3C spec
+	}
+	return z
+}
+
+// GenTrace deterministically generates a server-side trace context for
+// a request that arrived without one: trace id and root span derived
+// from a process seed and a per-request counter via the same splitmix64
+// mixing as ChildSpan. Generated traces are unsampled — they appear in
+// /traces and stamp journal events, but do not force the per-query
+// timed path the way a client-sent sampled traceparent does.
+func GenTrace(seed, n uint64) TraceContext {
+	hi := ChildSpan(seed, 2*n)
+	lo := ChildSpan(seed, 2*n+1)
+	return TraceContext{TraceHi: hi, TraceLo: lo, Span: ChildSpan(hi, lo)}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendHex64 appends v as exactly 16 lowercase hex digits.
+func appendHex64(dst []byte, v uint64) []byte {
+	for shift := 60; shift >= 0; shift -= 4 {
+		dst = append(dst, hexDigits[(v>>uint(shift))&0xf])
+	}
+	return dst
+}
+
+// parseHex64 parses up to 16 lowercase-or-uppercase hex digits.
+func parseHex64(s string) (uint64, bool) {
+	if len(s) == 0 || len(s) > 16 {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}

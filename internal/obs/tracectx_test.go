@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparentRoundTrip(t *testing.T) {
+	const hdr = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tc, ok := ParseTraceparent(hdr)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected", hdr)
+	}
+	if tc.TraceHi != 0x4bf92f3577b34da6 || tc.TraceLo != 0xa3ce929d0e0e4736 {
+		t.Fatalf("trace id %x %x", tc.TraceHi, tc.TraceLo)
+	}
+	if tc.Span != 0x00f067aa0ba902b7 || !tc.Sampled {
+		t.Fatalf("span %x sampled %v", tc.Span, tc.Sampled)
+	}
+	if got := tc.Traceparent(); got != hdr {
+		t.Fatalf("round trip %q, want %q", got, hdr)
+	}
+	if got := tc.TraceIDString(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id string %q", got)
+	}
+	if got := tc.SpanIDString(); got != "00f067aa0ba902b7" {
+		t.Fatalf("span id string %q", got)
+	}
+
+	// Unsampled variant and uppercase hex both parse.
+	un := strings.Replace(hdr, "-01", "-00", 1)
+	if tc2, ok := ParseTraceparent(un); !ok || tc2.Sampled {
+		t.Fatalf("unsampled parse: %+v ok=%v", tc2, ok)
+	}
+	up := strings.ToUpper(hdr[:35]) + hdr[35:]
+	if tc3, ok := ParseTraceparent(up); !ok || tc3.TraceHi != tc.TraceHi {
+		t.Fatalf("uppercase parse: %+v ok=%v", tc3, ok)
+	}
+}
+
+func TestParseTraceparentRejectsInvalid(t *testing.T) {
+	bad := []string{
+		"",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",      // truncated
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x",  // too long
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // wrong dash
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // reserved version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",   // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",   // zero span id
+		"00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01",   // non-hex
+		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // non-hex version
+		"00-4bf92f3577b34da6-a3ce929d0e0e4736-00f067aa0ba902b7-01x", // shifted dashes
+	}
+	for _, s := range bad {
+		if tc, ok := ParseTraceparent(s); ok {
+			t.Fatalf("ParseTraceparent(%q) accepted: %+v", s, tc)
+		}
+	}
+}
+
+func TestParseTraceparentZeroAlloc(t *testing.T) {
+	const hdr = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if avg := testing.AllocsPerRun(100, func() {
+		if _, ok := ParseTraceparent(hdr); !ok {
+			t.Fatal("rejected")
+		}
+	}); avg != 0 {
+		t.Fatalf("%v allocs per parse, want 0", avg)
+	}
+	tc, _ := ParseTraceparent(hdr)
+	buf := make([]byte, 0, 64)
+	if avg := testing.AllocsPerRun(100, func() {
+		buf = tc.AppendTraceparent(buf[:0])
+	}); avg != 0 {
+		t.Fatalf("%v allocs per append, want 0", avg)
+	}
+}
+
+func TestChildSpanDeterministicAndNonZero(t *testing.T) {
+	seen := map[uint64]bool{}
+	for salt := uint64(0); salt < 1000; salt++ {
+		s := ChildSpan(0x00f067aa0ba902b7, salt)
+		if s == 0 {
+			t.Fatalf("salt %d produced the invalid zero span", salt)
+		}
+		if seen[s] {
+			t.Fatalf("salt %d collided", salt)
+		}
+		seen[s] = true
+		if s != ChildSpan(0x00f067aa0ba902b7, salt) {
+			t.Fatalf("salt %d not deterministic", salt)
+		}
+	}
+	// The all-zero guard: a colliding parent/salt still yields a valid id.
+	if ChildSpan(0, 0) == 0 {
+		t.Fatal("ChildSpan(0,0) returned the invalid zero span")
+	}
+}
+
+func TestGenTraceValidDistinctUnsampled(t *testing.T) {
+	seen := map[[2]uint64]bool{}
+	for n := uint64(0); n < 1000; n++ {
+		tc := GenTrace(42, n)
+		if !tc.Valid() || tc.Span == 0 {
+			t.Fatalf("n=%d: invalid generated context %+v", n, tc)
+		}
+		if tc.Sampled {
+			t.Fatalf("n=%d: generated trace must be unsampled", n)
+		}
+		key := [2]uint64{tc.TraceHi, tc.TraceLo}
+		if seen[key] {
+			t.Fatalf("n=%d: trace id collision", n)
+		}
+		seen[key] = true
+		if tc != GenTrace(42, n) {
+			t.Fatalf("n=%d: not deterministic", n)
+		}
+	}
+}

@@ -31,8 +31,9 @@ type Batch struct {
 	submit []func() // pre-allocated strand closures (strands 1..W-1)
 	wg     sync.WaitGroup
 
-	// Per-run state. queries is only held during Run.
+	// Per-run state. queries and traces are only held during Run.
 	queries [][]float64
+	traces  []obs.TraceContext // per-query trace contexts (nil = untraced run)
 	spans   []span
 	next    atomic.Int64
 	nq      int64
@@ -219,14 +220,31 @@ func (b *Batch) BlockWidth() int {
 // (the Tree.Query predicate). Results are read back with Result; they
 // remain valid until the next Run. Queries must match the tree's
 // dimension — the engine does not validate (the public API layer does).
-func (b *Batch) Run(queries [][]float64) { b.run(queries, false) }
+func (b *Batch) Run(queries [][]float64) { b.runTraced(queries, nil, false) }
 
 // RunClosed is Run with closed-ball membership (Tree.QueryClosed).
-func (b *Batch) RunClosed(queries [][]float64) { b.run(queries, true) }
+func (b *Batch) RunClosed(queries [][]float64) { b.runTraced(queries, nil, true) }
 
-func (b *Batch) run(queries [][]float64, closed bool) {
+// RunTraced is Run with per-query trace contexts: traces[i] is query
+// i's request context (the zero value marks an untraced query). Traced
+// queries stamp their TraceID and a per-query derived SpanID on journal
+// events; a trace with the sampled flag forces the timed phase-split
+// path (and so an exemplar + absolute-timeline journal event) even when
+// the strand's own sample tick does not fire. traces must be nil or
+// len(queries) long; the engine holds the slice only for the duration
+// of the run. Answers are bit-identical to Run.
+func (b *Batch) RunTraced(queries [][]float64, traces []obs.TraceContext) {
+	b.runTraced(queries, traces, false)
+}
+
+// RunClosedTraced is RunTraced with closed-ball membership.
+func (b *Batch) RunClosedTraced(queries [][]float64, traces []obs.TraceContext) {
+	b.runTraced(queries, traces, true)
+}
+
+func (b *Batch) runTraced(queries [][]float64, traces []obs.TraceContext, closed bool) {
 	start := time.Now()
-	b.queries, b.closed = queries, closed
+	b.queries, b.traces, b.closed = queries, traces, closed
 	b.curBatch = b.batches + 1
 	b.nq = int64(len(queries))
 	if cap(b.spans) < len(queries) {
@@ -261,7 +279,7 @@ func (b *Batch) run(queries [][]float64, closed bool) {
 	if deploy > 1 {
 		b.wg.Wait()
 	}
-	b.queries = nil
+	b.queries, b.traces = nil, nil
 	b.batches++
 	b.latency.Observe(time.Since(start).Nanoseconds())
 	if obs.On() {
@@ -277,6 +295,21 @@ func (b *Batch) run(queries [][]float64, closed bool) {
 	}
 }
 
+// traceOf returns query qi's request trace context and its derived
+// per-query span id (ChildSpan of the request span, salted with the
+// query index — deterministic, collision-free within a request). The
+// untraced-run fast path is the tr == nil check the callers hoist.
+func traceOf(tr []obs.TraceContext, qi int64) (obs.TraceContext, uint64) {
+	if tr == nil {
+		return obs.TraceContext{}, 0
+	}
+	tc := tr[qi]
+	if !tc.Valid() {
+		return tc, 0
+	}
+	return tc, obs.ChildSpan(tc.Span, uint64(qi))
+}
+
 // strand is one worker's loop: claim a chunk of query indices, answer
 // each into this strand's arena, repeat until the batch is drained.
 func (b *Batch) strand(id int) {
@@ -287,6 +320,7 @@ func (b *Batch) strand(id int) {
 	sh := &b.shards[id]
 	f := b.f
 	closed := b.closed
+	tr := b.traces
 	jn := sh.journal != nil
 	for {
 		lo := b.next.Add(batchChunk) - batchChunk
@@ -302,8 +336,16 @@ func (b *Batch) strand(id int) {
 			before := len(sh.ids)
 			var nodes, scanned int
 			leaf := int32(-1)
-			var descNs, scanNs int64
-			sampled := sh.serve.ShouldSample()
+			var descNs, scanNs, startNs int64
+			tc, qspan := traceOf(tr, qi)
+			// A client-sampled trace forces the timed path; the strand's
+			// own tick still advances so the deterministic cadence of
+			// untraced sampling is unchanged. Only tick-selected queries
+			// feed the recorder's aggregates — a forced query records its
+			// exemplar and journal timing only, so traced traffic cannot
+			// skew the sampled statistics.
+			tick := sh.serve.ShouldSample()
+			sampled := tick || tc.Sampled
 			if sampled {
 				// Sampled timed path: phase-split clock reads bracket the
 				// descent and the leaf scan separately, and the descent
@@ -320,7 +362,16 @@ func (b *Batch) strand(id int) {
 				nodes = len(path)
 				leaf = lf
 				descNs, scanNs = t1.Sub(t0).Nanoseconds(), t2.Sub(t1).Nanoseconds()
-				sh.serve.Record(descNs, scanNs, nodes, scanned, len(sh.ids)-before, path)
+				if tc.Valid() {
+					startNs = t0.UnixNano()
+					if tick {
+						sh.serve.RecordTraced(descNs, scanNs, nodes, scanned, len(sh.ids)-before, path, tc, startNs)
+					} else {
+						sh.serve.RecordExemplar(descNs+scanNs, tc, startNs)
+					}
+				} else {
+					sh.serve.Record(descNs, scanNs, nodes, scanned, len(sh.ids)-before, path)
+				}
 			} else if closed {
 				sh.ids, nodes, scanned = f.CoveringClosed(b.queries[qi], sh.ids)
 			} else {
@@ -336,6 +387,8 @@ func (b *Batch) strand(id int) {
 					Nodes: int32(nodes), Scanned: int32(scanned),
 					Reported: int32(len(sh.ids) - before), Sampled: sampled,
 					LatencyNs: descNs + scanNs, DescentNs: descNs, ScanNs: scanNs,
+					TraceHi: tc.TraceHi, TraceLo: tc.TraceLo, Span: qspan,
+					StartNs: startNs,
 				}
 			}
 		}
@@ -362,6 +415,7 @@ func (b *Batch) strandBlocked(id int) {
 	f := b.f
 	closed := b.closed
 	blockW := b.blockW
+	tr := b.traces
 	jn := sh.journal != nil
 	for {
 		lo := b.next.Add(batchChunk) - batchChunk
@@ -380,7 +434,9 @@ func (b *Batch) strandBlocked(id int) {
 		for k := 0; k < cn; k++ {
 			qi := lo + int64(k)
 			q := b.queries[qi]
-			if sh.serve.ShouldSample() {
+			tc, qspan := traceOf(tr, qi)
+			tick := sh.serve.ShouldSample()
+			if tick || tc.Sampled {
 				before := len(sh.ids)
 				t0 := time.Now()
 				leaf, path := f.DescendPath(q, sh.path[:0])
@@ -390,8 +446,19 @@ func (b *Batch) strandBlocked(id int) {
 				t2 := time.Now()
 				sh.path = path
 				descNs, scanNs := t1.Sub(t0).Nanoseconds(), t2.Sub(t1).Nanoseconds()
-				sh.serve.Record(descNs, scanNs,
-					len(path), scanned, len(sh.ids)-before, path)
+				var startNs int64
+				if tc.Valid() {
+					startNs = t0.UnixNano()
+					if tick {
+						sh.serve.RecordTraced(descNs, scanNs,
+							len(path), scanned, len(sh.ids)-before, path, tc, startNs)
+					} else {
+						sh.serve.RecordExemplar(descNs+scanNs, tc, startNs)
+					}
+				} else {
+					sh.serve.Record(descNs, scanNs,
+						len(path), scanned, len(sh.ids)-before, path)
+				}
 				b.spans[qi] = span{shard: int32(id), start: int32(before), end: int32(len(sh.ids))}
 				sh.queries++
 				sh.nodes += int64(len(path))
@@ -403,6 +470,8 @@ func (b *Batch) strandBlocked(id int) {
 						Nodes: int32(len(path)), Scanned: int32(scanned),
 						Reported: int32(len(sh.ids) - before), Sampled: true,
 						LatencyNs: descNs + scanNs, DescentNs: descNs, ScanNs: scanNs,
+						TraceHi: tc.TraceHi, TraceLo: tc.TraceLo, Span: qspan,
+						StartNs: startNs,
 					}
 				}
 				continue
@@ -438,10 +507,12 @@ func (b *Batch) strandBlocked(id int) {
 				sh.nodes += int64(sh.qnodes[k])
 				sh.scanned += int64(scanned)
 				if jn {
+					tc, qspan := traceOf(tr, qi)
 					sh.jbuf[k] = obs.JournalEvent{
 						Batch: b.curBatch, Query: int32(qi), Leaf: leaf,
 						Nodes: sh.qnodes[k], Scanned: int32(scanned),
 						Reported: int32(len(sh.ids) - before),
+						TraceHi:  tc.TraceHi, TraceLo: tc.TraceLo, Span: qspan,
 					}
 				}
 				continue
@@ -460,10 +531,12 @@ func (b *Batch) strandBlocked(id int) {
 				sh.nodes += int64(sh.qnodes[lanes[i]])
 				sh.scanned += int64(scanned)
 				if jn {
+					tc, qspan := traceOf(tr, qi)
 					sh.jbuf[lanes[i]] = obs.JournalEvent{
 						Batch: b.curBatch, Query: int32(qi), Leaf: leaf,
 						Nodes: sh.qnodes[lanes[i]], Scanned: int32(scanned),
 						Reported: int32(len(sh.ids) - before), Blocked: true,
+						TraceHi: tc.TraceHi, TraceLo: tc.TraceLo, Span: qspan,
 					}
 				}
 			}

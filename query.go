@@ -229,6 +229,40 @@ func (bt *Batcher) RunClosed(queries [][]float64) error {
 	return nil
 }
 
+// RunTraced is Run with per-query trace contexts: traces[i] carries
+// query i's request trace (zero value = untraced). Traced queries stamp
+// their TraceID and a derived per-query SpanID on journal events; a
+// sampled trace (client sent trace-flags 01) forces the timed
+// phase-split path so the request is guaranteed an exemplar and an
+// absolute-timeline journal event. traces must be nil or len(queries)
+// long. Answers are bit-identical to Run.
+func (bt *Batcher) RunTraced(queries [][]float64, traces []TraceContext) error {
+	if traces != nil && len(traces) != len(queries) {
+		return fmt.Errorf("sepdc: %d traces for %d queries", len(traces), len(queries))
+	}
+	for i, q := range queries {
+		if err := bt.qs.validateQuery(q); err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	bt.b.RunTraced(queries, traces)
+	return nil
+}
+
+// RunClosedTraced is RunTraced with closed-ball membership.
+func (bt *Batcher) RunClosedTraced(queries [][]float64, traces []TraceContext) error {
+	if traces != nil && len(traces) != len(queries) {
+		return fmt.Errorf("sepdc: %d traces for %d queries", len(traces), len(queries))
+	}
+	for i, q := range queries {
+		if err := bt.qs.validateQuery(q); err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	bt.b.RunClosedTraced(queries, traces)
+	return nil
+}
+
 // Len returns the number of queries answered by the last Run.
 func (bt *Batcher) Len() int { return bt.b.Len() }
 
